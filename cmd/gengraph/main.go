@@ -1,0 +1,73 @@
+// Command gengraph emits synthetic graphs as edge lists: either one of
+// the named dataset stand-ins from the workload registry, or a custom
+// preferential-attachment / uniform graph.
+//
+//	gengraph -dataset GrQc [-scale 0.5] > grqc.txt
+//	gengraph -kind pa -n 10000 -m 80000 [-undirected] [-seed 7] > custom.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sling/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "named stand-in from Table 3 (e.g. GrQc); overrides -kind/-n/-m")
+	scale := flag.Float64("scale", 1, "scale factor for -dataset")
+	kind := flag.String("kind", "pa", "generator for custom graphs: pa (preferential attachment) or uniform")
+	n := flag.Int("n", 1000, "nodes (custom)")
+	m := flag.Int("m", 5000, "edges (custom)")
+	undirected := flag.Bool("undirected", false, "emit both directions (custom)")
+	seed := flag.Uint64("seed", 1, "random seed (custom)")
+	list := flag.Bool("list", false, "list the named datasets and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Datasets() {
+			fmt.Println(s)
+		}
+		return
+	}
+
+	var spec workload.Spec
+	if *dataset != "" {
+		s, ok := workload.ByName(*dataset)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gengraph: unknown dataset %q (try -list)\n", *dataset)
+			os.Exit(1)
+		}
+		spec = s
+	} else {
+		var k workload.Kind
+		switch *kind {
+		case "pa":
+			k = workload.PrefAttach
+		case "uniform":
+			k = workload.Uniform
+		default:
+			fmt.Fprintf(os.Stderr, "gengraph: unknown kind %q\n", *kind)
+			os.Exit(1)
+		}
+		spec = workload.Spec{
+			Name:     "custom",
+			Directed: !*undirected,
+			Kind:     k,
+			Nodes:    *n,
+			Edges:    *m,
+			Seed:     *seed,
+		}
+		*scale = 1
+	}
+	g := spec.Generate(*scale)
+	fmt.Fprintf(os.Stderr, "gengraph: %s -> n=%d m=%d\n", spec.Name, g.NumNodes(), g.NumEdges())
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := g.WriteEdgeList(w); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}

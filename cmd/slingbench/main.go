@@ -1,0 +1,716 @@
+// Command slingbench regenerates the SLING paper's evaluation (Section 7
+// and Appendix C): every figure has an -exp target that prints the same
+// rows/series the paper reports, measured on the synthetic dataset
+// stand-ins of internal/workload.
+//
+// Usage:
+//
+//	slingbench -exp fig1 [-datasets GrQc,AS] [-preset fast|paper] ...
+//
+// Experiments:
+//
+//	table3   dataset statistics (Table 3)
+//	fig1     average single-pair query time per method
+//	fig2     average single-source query time per method
+//	fig3     preprocessing time per method
+//	fig4     index space per method
+//	perf     fig1+fig2+fig3+fig4 in one pass (shared builds)
+//	fig5     max all-pairs error over repeated index builds (4 smallest)
+//	fig6     average error by SimRank score group S1/S2/S3
+//	fig7     top-k pair precision
+//	acc      fig5+fig6+fig7 in one pass (shared ground truth)
+//	fig9     SLING preprocessing time vs worker count
+//	fig10    out-of-core preprocessing time vs memory buffer
+//	ablation Section 5 design-choice ablations
+//	all      everything above
+//
+// The default "fast" preset uses ε=0.1 so the full sweep finishes on a
+// laptop; -preset paper switches to the paper's ε=0.025 (Section 7.1).
+// Accuracy experiments always run SLING at the paper's ε. Absolute times
+// differ from the paper's C++/16-core testbed; EXPERIMENTS.md records the
+// expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"sling/internal/core"
+	"sling/internal/eval"
+	"sling/internal/graph"
+	"sling/internal/linearize"
+	"sling/internal/mc"
+	"sling/internal/power"
+	"sling/internal/workload"
+)
+
+var (
+	expFlag      = flag.String("exp", "perf", "experiment: table3|fig1|fig2|fig3|fig4|perf|fig5|fig6|fig7|acc|fig9|fig10|ablation|all")
+	datasetsFlag = flag.String("datasets", "", "comma-separated dataset names (default: per-experiment)")
+	scaleFlag    = flag.Float64("scale", 1, "dataset scale factor")
+	presetFlag   = flag.String("preset", "fast", "parameter preset: fast (eps=0.1) or paper (eps=0.025)")
+	pairsFlag    = flag.Int("pairs", 1000, "single-pair queries per dataset (time-boxed)")
+	sourcesFlag  = flag.Int("sources", 100, "single-source queries per dataset (time-boxed)")
+	runsFlag     = flag.Int("runs", 3, "index rebuilds for fig5 (paper: 10)")
+	budgetFlag   = flag.Duration("budget", 15*time.Second, "per-method query timing budget")
+	seedFlag     = flag.Uint64("seed", 1, "base random seed")
+	threadsFlag  = flag.String("threads", "1,2,4,8,16", "worker counts for fig9")
+	buffersFlag  = flag.String("buffers", "1,4,16,64,all", "memory buffers in MiB for fig10 ('all' = in-memory)")
+	kvalsFlag    = flag.String("k", "400,800,1200,1600,2000", "k values for fig7")
+	mcCapFlag    = flag.Int64("mccap", 1<<30, "max MC index bytes before the dataset is skipped (paper: 64GB)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slingbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exps := strings.Split(*expFlag, ",")
+	for _, e := range exps {
+		switch strings.TrimSpace(e) {
+		case "table3":
+			runTable3()
+		case "fig1", "fig2", "fig3", "fig4", "perf":
+			if err := runPerf(); err != nil {
+				return err
+			}
+		case "fig5", "fig6", "fig7", "acc":
+			if err := runAccuracy(); err != nil {
+				return err
+			}
+		case "fig9":
+			if err := runThreads(); err != nil {
+				return err
+			}
+		case "fig10":
+			if err := runBuffers(); err != nil {
+				return err
+			}
+		case "ablation":
+			if err := runAblation(); err != nil {
+				return err
+			}
+		case "all":
+			runTable3()
+			if err := runPerf(); err != nil {
+				return err
+			}
+			if err := runAccuracy(); err != nil {
+				return err
+			}
+			if err := runThreads(); err != nil {
+				return err
+			}
+			if err := runBuffers(); err != nil {
+				return err
+			}
+			if err := runAblation(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", e)
+		}
+	}
+	return nil
+}
+
+// selectDatasets resolves -datasets against a default list.
+func selectDatasets(def []workload.Spec) ([]workload.Spec, error) {
+	if *datasetsFlag == "" {
+		return def, nil
+	}
+	var out []workload.Spec
+	for _, name := range strings.Split(*datasetsFlag, ",") {
+		s, ok := workload.ByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown dataset %q", name)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// params returns per-method options under the active preset.
+func params(preset string) (slingOpt core.Options, linOpt linearize.Options, mcEps float64, err error) {
+	switch preset {
+	case "fast":
+		slingOpt = core.Options{Eps: 0.1, Seed: *seedFlag}
+		mcEps = 0.1
+	case "paper":
+		slingOpt = core.Options{Eps: 0.025, Seed: *seedFlag}
+		mcEps = 0.025
+	default:
+		err = fmt.Errorf("unknown preset %q", preset)
+		return
+	}
+	linOpt = linearize.Options{T: 11, R: 100, L: 3, Seed: *seedFlag} // paper Section 7.1
+	return
+}
+
+// mcOptions derives MC options whose index fits the -mccap budget, or
+// reports that the dataset must be skipped (the paper skips MC beyond its
+// four smallest graphs for the same reason).
+func mcOptions(n int, eps float64) (mc.Options, bool) {
+	t := mc.DeriveTruncation(eps, 0.6)
+	nw := mc.DeriveNumWalks(eps, 0.01, n)
+	if int64(n)*int64(nw)*int64(t+1)*4 > *mcCapFlag {
+		return mc.Options{}, false
+	}
+	return mc.Options{C: 0.6, NumWalks: nw, Truncation: t, Seed: *seedFlag}, true
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "-"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%.2fµs", float64(d.Nanoseconds())/1000)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b <= 0:
+		return "-"
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	}
+}
+
+// timeBox runs up to count calls of fn within the budget and returns the
+// average latency and how many calls ran.
+func timeBox(count int, budget time.Duration, fn func(i int)) (time.Duration, int) {
+	if count <= 0 {
+		return 0, 0
+	}
+	start := time.Now()
+	ran := 0
+	for ; ran < count; ran++ {
+		fn(ran)
+		if time.Since(start) > budget {
+			ran++
+			break
+		}
+	}
+	return time.Since(start) / time.Duration(ran), ran
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// ---------------------------------------------------------------- table3
+
+func runTable3() {
+	fmt.Println("== Table 3: datasets (synthetic stand-ins; paper sizes in parentheses) ==")
+	w := newTab()
+	fmt.Fprintln(w, "dataset\ttype\tn\tm\tpaper n\tpaper m\tgenerator")
+	for _, s := range workload.Datasets() {
+		g := s.Generate(*scaleFlag)
+		typ := "directed"
+		if !s.Directed {
+			typ = "undirected"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			s.Name, typ, g.NumNodes(), g.NumEdges(), s.PaperNodes, s.PaperEdges, s.Kind)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+// ------------------------------------------------------------- fig1-fig4
+
+type perfRow struct {
+	name string
+
+	slingBuild, linBuild, mcBuild time.Duration
+	slingBytes, linBytes, mcBytes int64
+	slingPair, linPair, mcPair    time.Duration
+	slingSS, slingSSNaive         time.Duration
+	linSS, mcSS                   time.Duration
+	naiveRan                      bool
+}
+
+func runPerf() error {
+	specs, err := selectDatasets(workload.Datasets())
+	if err != nil {
+		return err
+	}
+	slingOpt, linOpt, mcEps, err := params(*presetFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Figures 1-4: query/preprocessing cost per method (preset %s, scale %g) ==\n", *presetFlag, *scaleFlag)
+	var rows []perfRow
+	for di, spec := range specs {
+		g := spec.Generate(*scaleFlag)
+		row := perfRow{name: spec.Name}
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s: n=%d m=%d building...\n", di+1, len(specs), spec.Name, g.NumNodes(), g.NumEdges())
+
+		start := time.Now()
+		slingIx, err := core.Build(g, &slingOpt)
+		if err != nil {
+			return fmt.Errorf("%s: sling build: %w", spec.Name, err)
+		}
+		row.slingBuild = time.Since(start)
+		row.slingBytes = slingIx.Bytes() + g.Bytes()
+
+		start = time.Now()
+		linIx, err := linearize.Build(g, &linOpt)
+		if err != nil {
+			return fmt.Errorf("%s: linearize build: %w", spec.Name, err)
+		}
+		row.linBuild = time.Since(start)
+		row.linBytes = linIx.Bytes() + g.Bytes()
+
+		var mcIx *mc.Index
+		if mcOpt, ok := mcOptions(g.NumNodes(), mcEps); ok {
+			start = time.Now()
+			mcIx, err = mc.Build(g, &mcOpt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "  mc skipped: %v\n", err)
+			} else {
+				row.mcBuild = time.Since(start)
+				row.mcBytes = mcIx.Bytes() + g.Bytes()
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "  mc skipped: index would exceed %s (as in the paper)\n", fmtBytes(*mcCapFlag))
+		}
+
+		// Figure 1: single-pair latency.
+		pairs := workload.RandomPairs(g, *pairsFlag, *seedFlag+7)
+		qs := slingIx.NewScratch()
+		row.slingPair, _ = timeBox(len(pairs), *budgetFlag, func(i int) {
+			slingIx.SimRank(pairs[i].U, pairs[i].V, qs)
+		})
+		ls := linIx.NewScratch()
+		row.linPair, _ = timeBox(len(pairs), *budgetFlag, func(i int) {
+			linIx.SimRank(pairs[i].U, pairs[i].V, ls)
+		})
+		if mcIx != nil {
+			row.mcPair, _ = timeBox(len(pairs), *budgetFlag, func(i int) {
+				mcIx.SimRank(pairs[i].U, pairs[i].V)
+			})
+		}
+
+		// Figure 2: single-source latency.
+		sources := workload.RandomNodes(g, *sourcesFlag, *seedFlag+11)
+		out := make([]float64, g.NumNodes())
+		ss := slingIx.NewSourceScratch()
+		row.slingSS, _ = timeBox(len(sources), *budgetFlag, func(i int) {
+			slingIx.SingleSource(sources[i], ss, out)
+		})
+		if di < 4 { // the paper runs the naive Alg-3 loop only on the 4 smallest
+			row.naiveRan = true
+			row.slingSSNaive, _ = timeBox(len(sources), *budgetFlag, func(i int) {
+				slingIx.SingleSourceNaive(sources[i], qs, out)
+			})
+		}
+		row.linSS, _ = timeBox(len(sources), *budgetFlag, func(i int) {
+			linIx.SingleSource(sources[i], ls, out)
+		})
+		if mcIx != nil {
+			row.mcSS, _ = timeBox(len(sources), *budgetFlag, func(i int) {
+				mcIx.SingleSource(sources[i], out)
+			})
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Println("\n-- Figure 1: average single-pair query time --")
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tSLING\tLinearize\tMC\tspeedup vs Linearize")
+	for _, r := range rows {
+		speed := "-"
+		if r.slingPair > 0 && r.linPair > 0 {
+			speed = fmt.Sprintf("%.0fx", float64(r.linPair)/float64(r.slingPair))
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", r.name, fmtDur(r.slingPair), fmtDur(r.linPair), fmtDur(r.mcPair), speed)
+	}
+	w.Flush()
+
+	fmt.Println("\n-- Figure 2: average single-source query time --")
+	w = newTab()
+	fmt.Fprintln(w, "dataset\tSLING(Alg6)\tSLING(Alg3 loop)\tLinearize\tMC\tspeedup vs Linearize")
+	for _, r := range rows {
+		naive := "-"
+		if r.naiveRan {
+			naive = fmtDur(r.slingSSNaive)
+		}
+		speed := "-"
+		if r.slingSS > 0 && r.linSS > 0 {
+			speed = fmt.Sprintf("%.0fx", float64(r.linSS)/float64(r.slingSS))
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n", r.name, fmtDur(r.slingSS), naive, fmtDur(r.linSS), fmtDur(r.mcSS), speed)
+	}
+	w.Flush()
+
+	fmt.Println("\n-- Figure 3: preprocessing time --")
+	w = newTab()
+	fmt.Fprintln(w, "dataset\tSLING\tLinearize\tMC")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.name, fmtDur(r.slingBuild), fmtDur(r.linBuild), fmtDur(r.mcBuild))
+	}
+	w.Flush()
+
+	fmt.Println("\n-- Figure 4: space consumption (index + graph) --")
+	w = newTab()
+	fmt.Fprintln(w, "dataset\tSLING\tLinearize\tMC")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.name, fmtBytes(r.slingBytes), fmtBytes(r.linBytes), fmtBytes(r.mcBytes))
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+// ------------------------------------------------------------- fig5-fig7
+
+func runAccuracy() error {
+	specs, err := selectDatasets(workload.SmallDatasets())
+	if err != nil {
+		return err
+	}
+	_, linOpt, _, err := params(*presetFlag)
+	if err != nil {
+		return err
+	}
+	// Accuracy experiments follow the paper: SLING at ε=0.025; MC's walk
+	// count is capped by memory rather than theory (the theoretical count
+	// needs tens of GB even on the smallest graph — see EXPERIMENTS.md).
+	slingOpt := core.Options{Eps: 0.025}
+	kvals, err := parseInts(*kvalsFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Figures 5-7: accuracy vs power-method ground truth (%d run(s), scale %g) ==\n", *runsFlag, *scaleFlag)
+
+	type accRow struct {
+		name                       string
+		slingMax, linMax, mcMax    []float64 // per run
+		slingGrp, linGrp, mcGrp    eval.Grouped
+		slingPrec, linPrec, mcPrec map[int]float64
+	}
+	var rows []accRow
+	for _, spec := range specs {
+		g := spec.Generate(*scaleFlag)
+		fmt.Fprintf(os.Stderr, "%s: computing ground truth (n=%d)...\n", spec.Name, g.NumNodes())
+		truth, err := eval.GroundTruth(g, 0.6)
+		if err != nil {
+			return fmt.Errorf("%s: ground truth: %w", spec.Name, err)
+		}
+		row := accRow{name: spec.Name,
+			slingPrec: map[int]float64{}, linPrec: map[int]float64{}, mcPrec: map[int]float64{}}
+		// MC walk count under a 256 MiB budget.
+		mcT := mc.DeriveTruncation(0.025, 0.6)
+		mcNW := int((256 << 20) / (int64(g.NumNodes()) * int64(mcT+1) * 4))
+		if mcNW > 20000 {
+			mcNW = 20000
+		}
+		for run := 0; run < *runsFlag; run++ {
+			seed := *seedFlag + uint64(run)*1000
+			so := slingOpt
+			so.Seed = seed
+			slingIx, err := core.Build(g, &so)
+			if err != nil {
+				return err
+			}
+			ss := slingIx.NewSourceScratch()
+			slingAll := eval.Collect(g.NumNodes(), func(u graph.NodeID, out []float64) []float64 {
+				return slingIx.SingleSource(u, ss, out)
+			})
+			lo := linOpt
+			lo.Seed = seed
+			linIx, err := linearize.Build(g, &lo)
+			if err != nil {
+				return err
+			}
+			ls := linIx.NewScratch()
+			linAll := eval.Collect(g.NumNodes(), func(u graph.NodeID, out []float64) []float64 {
+				return linIx.SingleSource(u, ls, out)
+			})
+			mcIx, err := mc.Build(g, &mc.Options{C: 0.6, NumWalks: mcNW, Truncation: mcT, Seed: seed})
+			if err != nil {
+				return err
+			}
+			mcAll := mcIx.AllPairs()
+
+			for _, pair := range []struct {
+				est *power.Scores
+				dst *[]float64
+			}{{slingAll, &row.slingMax}, {linAll, &row.linMax}, {mcAll, &row.mcMax}} {
+				m, err := eval.MaxError(pair.est, truth)
+				if err != nil {
+					return err
+				}
+				*pair.dst = append(*pair.dst, m)
+			}
+			if run == 0 {
+				if row.slingGrp, err = eval.GroupErrors(slingAll, truth); err != nil {
+					return err
+				}
+				if row.linGrp, err = eval.GroupErrors(linAll, truth); err != nil {
+					return err
+				}
+				if row.mcGrp, err = eval.GroupErrors(mcAll, truth); err != nil {
+					return err
+				}
+				for _, k := range kvals {
+					if row.slingPrec[k], err = eval.TopKPrecision(slingAll, truth, k); err != nil {
+						return err
+					}
+					if row.linPrec[k], err = eval.TopKPrecision(linAll, truth, k); err != nil {
+						return err
+					}
+					if row.mcPrec[k], err = eval.TopKPrecision(mcAll, truth, k); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Println("\n-- Figure 5: maximum all-pairs error per run (SLING guarantee eps=0.025) --")
+	w := newTab()
+	fmt.Fprintln(w, "dataset\trun\tSLING\tLinearize\tMC")
+	for _, r := range rows {
+		for run := range r.slingMax {
+			fmt.Fprintf(w, "%s\t%d\t%.5f\t%.5f\t%.5f\n", r.name, run+1, r.slingMax[run], r.linMax[run], r.mcMax[run])
+		}
+	}
+	w.Flush()
+
+	fmt.Println("\n-- Figure 6: average error per SimRank score group --")
+	w = newTab()
+	fmt.Fprintln(w, "dataset\tgroup\tSLING\tLinearize\tMC")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\tS1 [0.1,1]\t%.2e\t%.2e\t%.2e\n", r.name, r.slingGrp.S1, r.linGrp.S1, r.mcGrp.S1)
+		fmt.Fprintf(w, "%s\tS2 [0.01,0.1)\t%.2e\t%.2e\t%.2e\n", r.name, r.slingGrp.S2, r.linGrp.S2, r.mcGrp.S2)
+		fmt.Fprintf(w, "%s\tS3 (<0.01)\t%.2e\t%.2e\t%.2e\n", r.name, r.slingGrp.S3, r.linGrp.S3, r.mcGrp.S3)
+	}
+	w.Flush()
+
+	fmt.Println("\n-- Figure 7: top-k pair precision --")
+	w = newTab()
+	fmt.Fprintln(w, "dataset\tk\tSLING\tLinearize\tMC")
+	for _, r := range rows {
+		ks := make([]int, 0, len(r.slingPrec))
+		for k := range r.slingPrec {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
+			fmt.Fprintf(w, "%s\t%d\t%.4f\t%.4f\t%.4f\n", r.name, k, r.slingPrec[k], r.linPrec[k], r.mcPrec[k])
+		}
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+// ----------------------------------------------------------------- fig9
+
+func runThreads() error {
+	def := []workload.Spec{}
+	for _, name := range []string{"Google", "In-2004"} {
+		s, _ := workload.ByName(name)
+		def = append(def, s)
+	}
+	specs, err := selectDatasets(def)
+	if err != nil {
+		return err
+	}
+	slingOpt, _, _, err := params(*presetFlag)
+	if err != nil {
+		return err
+	}
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Figure 9: SLING preprocessing time vs worker count (preset %s) ==\n", *presetFlag)
+	fmt.Println("   note: speedup requires physical cores; see EXPERIMENTS.md for this host")
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tworkers\tpreprocessing")
+	for _, spec := range specs {
+		g := spec.Generate(*scaleFlag)
+		for _, th := range threads {
+			o := slingOpt
+			o.Workers = th
+			start := time.Now()
+			if _, err := core.Build(g, &o); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s\t%d\t%s\n", spec.Name, th, fmtDur(time.Since(start)))
+			w.Flush()
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// ---------------------------------------------------------------- fig10
+
+func runBuffers() error {
+	def := []workload.Spec{}
+	for _, name := range []string{"Google", "In-2004"} {
+		s, _ := workload.ByName(name)
+		def = append(def, s)
+	}
+	specs, err := selectDatasets(def)
+	if err != nil {
+		return err
+	}
+	slingOpt, _, _, err := params(*presetFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Figure 10: out-of-core preprocessing time vs memory buffer (preset %s) ==\n", *presetFlag)
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tbuffer\tpreprocessing\tspill runs")
+	for _, spec := range specs {
+		g := spec.Generate(*scaleFlag)
+		for _, b := range strings.Split(*buffersFlag, ",") {
+			b = strings.TrimSpace(b)
+			start := time.Now()
+			if b == "all" {
+				if _, err := core.Build(g, &slingOpt); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%s\tall (in-memory)\t%s\t0\n", spec.Name, fmtDur(time.Since(start)))
+			} else {
+				mib, err := strconv.ParseFloat(b, 64)
+				if err != nil {
+					return fmt.Errorf("bad buffer size %q", b)
+				}
+				dir, err := os.MkdirTemp("", "slingbench-ooc")
+				if err != nil {
+					return err
+				}
+				budget := int64(mib * (1 << 20))
+				if _, err := core.BuildOutOfCore(g, &slingOpt, core.OutOfCoreOptions{Dir: dir, MemBudget: budget}); err != nil {
+					os.RemoveAll(dir)
+					return err
+				}
+				fmt.Fprintf(w, "%s\t%sMiB\t%s\t-\n", spec.Name, b, fmtDur(time.Since(start)))
+				os.RemoveAll(dir)
+			}
+			w.Flush()
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// -------------------------------------------------------------- ablation
+
+func runAblation() error {
+	specs, err := selectDatasets(workload.SmallDatasets()[:2])
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Ablations: Section 5 design choices ==")
+	for _, spec := range specs {
+		g := spec.Generate(*scaleFlag)
+		truth, err := eval.GroundTruth(g, 0.6)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n-- %s (n=%d, m=%d) --\n", spec.Name, g.NumNodes(), g.NumEdges())
+
+		// 5.1: Algorithm 1 vs Algorithm 4 sample counts.
+		_, stBasic, err := core.BuildWithStats(g, &core.Options{Eps: 0.05, Seed: *seedFlag, BasicEstimator: true})
+		if err != nil {
+			return err
+		}
+		_, stAdaptive, err := core.BuildWithStats(g, &core.Options{Eps: 0.05, Seed: *seedFlag})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("d-estimation walk pairs:  Alg1 (basic) %d   Alg4 (adaptive) %d   saving %.1fx\n",
+			stBasic.WalkPairs, stAdaptive.WalkPairs,
+			float64(stBasic.WalkPairs)/float64(stAdaptive.WalkPairs))
+
+		// 5.2: space reduction on/off.
+		full, err := core.Build(g, &core.Options{Eps: 0.05, Seed: *seedFlag, DisableSpaceReduction: true})
+		if err != nil {
+			return err
+		}
+		red, err := core.Build(g, &core.Options{Eps: 0.05, Seed: *seedFlag})
+		if err != nil {
+			return err
+		}
+		pairs := workload.RandomPairs(g, 2000, *seedFlag+3)
+		sF, sR := full.NewScratch(), red.NewScratch()
+		tFull, _ := timeBox(len(pairs), 5*time.Second, func(i int) { full.SimRank(pairs[i].U, pairs[i].V, sF) })
+		tRed, _ := timeBox(len(pairs), 5*time.Second, func(i int) { red.SimRank(pairs[i].U, pairs[i].V, sR) })
+		fmt.Printf("space reduction (5.2):    off %s / %s per query   on %s / %s per query\n",
+			fmtBytes(full.Bytes()), fmtDur(tFull), fmtBytes(red.Bytes()), fmtDur(tRed))
+
+		// 5.3: enhancement on/off accuracy.
+		enh, err := core.Build(g, &core.Options{Eps: 0.05, Seed: *seedFlag, Enhance: true})
+		if err != nil {
+			return err
+		}
+		ssP := red.NewSourceScratch()
+		plainAll := eval.Collect(g.NumNodes(), func(u graph.NodeID, out []float64) []float64 {
+			return red.SingleSource(u, ssP, out)
+		})
+		sE := enh.NewScratch()
+		enhAll := eval.Collect(g.NumNodes(), func(u graph.NodeID, out []float64) []float64 {
+			return enh.SingleSourceNaive(u, sE, out)
+		})
+		pm, _ := eval.MaxError(plainAll, truth)
+		em, _ := eval.MaxError(enhAll, truth)
+		pg, _ := eval.GroupErrors(plainAll, truth)
+		eg, _ := eval.GroupErrors(enhAll, truth)
+		fmt.Printf("enhancement (5.3):        off max err %.5f (S1 %.2e)   on max err %.5f (S1 %.2e)\n",
+			pm, pg.S1, em, eg.S1)
+
+		// Section 6: Alg 6 vs the Alg 3 loop vs the inverted-list approach.
+		sources := workload.RandomNodes(g, 50, *seedFlag+5)
+		out := make([]float64, g.NumNodes())
+		ss := red.NewSourceScratch()
+		iv := red.BuildInverted()
+		t6, _ := timeBox(len(sources), 5*time.Second, func(i int) { red.SingleSource(sources[i], ss, out) })
+		t3, _ := timeBox(len(sources), 5*time.Second, func(i int) { red.SingleSourceNaive(sources[i], sR, out) })
+		tIV, _ := timeBox(len(sources), 5*time.Second, func(i int) { iv.SingleSource(sources[i], sR, out) })
+		fmt.Printf("single-source:            Alg6 %s   Alg3-loop %s (%.1fx)   inverted lists %s (+%s space)\n",
+			fmtDur(t6), fmtDur(t3), float64(t3)/float64(t6), fmtDur(tIV), fmtBytes(iv.Bytes()))
+	}
+	fmt.Println()
+	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+// Command slingserver serves SimRank queries over HTTP from a SLING
+// index. It either loads a prebuilt index (slingtool build) or builds one
+// at startup.
+//
+//	slingserver -graph g.txt [-undirected] [-index idx.sling] [-eps 0.025] [-addr :8080]
+//
+// Endpoints (JSON): /simrank?u=&v=  /source?u=[&limit=]  /topk?u=&k=
+// /stats  /healthz. Node parameters use the edge list's original labels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"sling"
+	"sling/internal/server"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "edge list file (required)")
+	undirected := flag.Bool("undirected", false, "treat edges as undirected")
+	indexPath := flag.String("index", "", "prebuilt index (optional; builds at startup otherwise)")
+	eps := flag.Float64("eps", 0.025, "worst-case additive error when building")
+	workers := flag.Int("workers", 1, "build parallelism")
+	seed := flag.Uint64("seed", 1, "build seed")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	if *graphPath == "" {
+		fmt.Fprintln(os.Stderr, "slingserver: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, labels, err := sling.LoadEdgeListFile(*graphPath, *undirected)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	log.Printf("graph: n=%d m=%d", g.NumNodes(), g.NumEdges())
+
+	var ix *sling.Index
+	if *indexPath != "" {
+		ix, err = sling.Open(*indexPath, g)
+		if err != nil {
+			log.Fatalf("opening index: %v", err)
+		}
+		log.Printf("index loaded from %s (%d entries)", *indexPath, ix.Stats().Entries)
+	} else {
+		start := time.Now()
+		ix, err = sling.Build(g, &sling.Options{Eps: *eps, Workers: *workers, Seed: *seed})
+		if err != nil {
+			log.Fatalf("building index: %v", err)
+		}
+		log.Printf("index built in %v (%d entries, error bound %.4g)",
+			time.Since(start).Round(time.Millisecond), ix.Stats().Entries, ix.ErrorBound())
+	}
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      server.New(ix, labels),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	log.Printf("serving on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Command slingtool builds, inspects and queries SLING indexes over
+// edge-list graphs.
+//
+// Subcommands:
+//
+//	slingtool build -graph g.txt [-undirected] [-eps 0.025] [-out idx.sling] [-workers N] [-ooc dir -mem MiB]
+//	slingtool stats -graph g.txt [-undirected] -index idx.sling
+//	slingtool query -graph g.txt [-undirected] -index idx.sling [-disk] u v [u v ...]
+//	slingtool source -graph g.txt [-undirected] -index idx.sling -node u [-top k]
+//
+// Node arguments use the original labels from the edge list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"sling"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "source":
+		err = cmdSource(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "slingtool: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slingtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  slingtool build  -graph g.txt [-undirected] [-eps 0.025] [-out idx.sling] [-workers N] [-enhance] [-ooc DIR -mem MiB]
+  slingtool stats  -graph g.txt [-undirected] -index idx.sling
+  slingtool query  -graph g.txt [-undirected] -index idx.sling [-disk] u v [u v ...]
+  slingtool source -graph g.txt [-undirected] -index idx.sling -node u [-top k]`)
+}
+
+// loadGraph parses the shared -graph/-undirected flags' target.
+func loadGraph(path string, undirected bool) (*sling.Graph, []int64, map[int64]sling.NodeID, error) {
+	if path == "" {
+		return nil, nil, nil, fmt.Errorf("missing -graph")
+	}
+	g, labels, err := sling.LoadEdgeListFile(path, undirected)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	byLabel := make(map[int64]sling.NodeID, len(labels))
+	for id, label := range labels {
+		byLabel[label] = sling.NodeID(id)
+	}
+	return g, labels, byLabel, nil
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge list file")
+	undirected := fs.Bool("undirected", false, "treat edges as undirected")
+	eps := fs.Float64("eps", 0.025, "worst-case additive error")
+	c := fs.Float64("c", 0.6, "decay factor")
+	out := fs.String("out", "index.sling", "output index path")
+	workers := fs.Int("workers", 1, "build parallelism")
+	seed := fs.Uint64("seed", 1, "random seed")
+	enhance := fs.Bool("enhance", false, "enable the Section 5.3 accuracy enhancement")
+	oocDir := fs.String("ooc", "", "spill directory: build out-of-core (Section 5.4)")
+	memMiB := fs.Int64("mem", 64, "out-of-core memory budget in MiB")
+	fs.Parse(args)
+
+	g, _, _, err := loadGraph(*graphPath, *undirected)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d\n", g.NumNodes(), g.NumEdges())
+	opt := &sling.Options{Eps: *eps, C: *c, Workers: *workers, Seed: *seed, Enhance: *enhance}
+	start := time.Now()
+	var ix *sling.Index
+	if *oocDir != "" {
+		ix, err = sling.BuildOutOfCore(g, opt, *oocDir, *memMiB<<20)
+	} else {
+		ix, err = sling.Build(g, opt)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built in %v: %d HP entries, %s in memory, guaranteed error <= %.4g\n",
+		time.Since(start).Round(time.Millisecond), ix.Stats().Entries, fmtBytes(ix.Bytes()), ix.ErrorBound())
+	if err := ix.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("saved to %s\n", *out)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge list file")
+	undirected := fs.Bool("undirected", false, "treat edges as undirected")
+	indexPath := fs.String("index", "", "index file")
+	fs.Parse(args)
+
+	g, _, _, err := loadGraph(*graphPath, *undirected)
+	if err != nil {
+		return err
+	}
+	ix, err := sling.Open(*indexPath, g)
+	if err != nil {
+		return err
+	}
+	st := ix.Stats()
+	fmt.Printf("nodes:            %d\n", st.Nodes)
+	fmt.Printf("HP entries:       %d (avg %.1f/node, max %d, theoretical cap %.0f)\n",
+		st.Entries, st.AvgEntries, st.MaxEntries, st.TheoreticalCap)
+	fmt.Printf("deepest step:     %d\n", st.MaxStep)
+	fmt.Printf("space-reduced:    %d nodes\n", st.ReducedNodes)
+	fmt.Printf("marked entries:   %d\n", st.MarkedEntries)
+	fmt.Printf("memory:           %s (graph adds %s)\n", fmtBytes(st.Bytes), fmtBytes(g.Bytes()))
+	fmt.Printf("error bound:      %.4g\n", ix.ErrorBound())
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge list file")
+	undirected := fs.Bool("undirected", false, "treat edges as undirected")
+	indexPath := fs.String("index", "", "index file")
+	disk := fs.Bool("disk", false, "query the index from disk (constant memory)")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) == 0 || len(rest)%2 != 0 {
+		return fmt.Errorf("need an even number of node arguments (pairs)")
+	}
+	g, _, byLabel, err := loadGraph(*graphPath, *undirected)
+	if err != nil {
+		return err
+	}
+	resolve := func(s string) (sling.NodeID, error) {
+		label, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad node label %q", s)
+		}
+		id, ok := byLabel[label]
+		if !ok {
+			return 0, fmt.Errorf("node %d not in graph", label)
+		}
+		return id, nil
+	}
+	var pairs [][2]sling.NodeID
+	for i := 0; i < len(rest); i += 2 {
+		u, err := resolve(rest[i])
+		if err != nil {
+			return err
+		}
+		v, err := resolve(rest[i+1])
+		if err != nil {
+			return err
+		}
+		pairs = append(pairs, [2]sling.NodeID{u, v})
+	}
+	if *disk {
+		di, err := sling.OpenDisk(*indexPath, g)
+		if err != nil {
+			return err
+		}
+		defer di.Close()
+		for i, p := range pairs {
+			score, err := di.SimRank(p[0], p[1])
+			if err != nil {
+				return err
+			}
+			fmt.Printf("s(%s, %s) = %.6f\n", rest[2*i], rest[2*i+1], score)
+		}
+		return nil
+	}
+	ix, err := sling.Open(*indexPath, g)
+	if err != nil {
+		return err
+	}
+	for i, p := range pairs {
+		fmt.Printf("s(%s, %s) = %.6f\n", rest[2*i], rest[2*i+1], ix.SimRank(p[0], p[1]))
+	}
+	return nil
+}
+
+func cmdSource(args []string) error {
+	fs := flag.NewFlagSet("source", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge list file")
+	undirected := fs.Bool("undirected", false, "treat edges as undirected")
+	indexPath := fs.String("index", "", "index file")
+	node := fs.Int64("node", -1, "source node label")
+	top := fs.Int("top", 10, "print the k most similar nodes")
+	fs.Parse(args)
+
+	g, labels, byLabel, err := loadGraph(*graphPath, *undirected)
+	if err != nil {
+		return err
+	}
+	id, ok := byLabel[*node]
+	if !ok {
+		return fmt.Errorf("node %d not in graph", *node)
+	}
+	ix, err := sling.Open(*indexPath, g)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	scores := ix.SingleSource(id, nil)
+	elapsed := time.Since(start)
+	type scored struct {
+		v     int
+		score float64
+	}
+	var all []scored
+	for v, s := range scores {
+		if sling.NodeID(v) != id && s > 0 {
+			all = append(all, scored{v, s})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].v < all[j].v
+	})
+	if *top < len(all) {
+		all = all[:*top]
+	}
+	fmt.Printf("single-source from %d (%v):\n", *node, elapsed.Round(time.Microsecond))
+	for _, s := range all {
+		fmt.Printf("  %d\t%.6f\n", labels[s.v], s.score)
+	}
+	return nil
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sling"
+	"sling/internal/rng"
+)
+
+// writeTestGraph emits a small random edge list and returns its path.
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	r := rng.New(3)
+	b := sling.NewGraphBuilder(100)
+	for i := 0; i < 500; i++ {
+		b.AddEdge(sling.NodeID(r.Intn(100)), sling.NodeID(r.Intn(100)))
+	}
+	g := b.Build()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildStatsQuerySourcePipeline(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	idxPath := filepath.Join(t.TempDir(), "idx.sling")
+
+	if err := cmdBuild([]string{"-graph", graphPath, "-eps", "0.08", "-out", idxPath, "-seed", "5"}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if _, err := os.Stat(idxPath); err != nil {
+		t.Fatalf("index not written: %v", err)
+	}
+	if err := cmdStats([]string{"-graph", graphPath, "-index", idxPath}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := cmdQuery([]string{"-graph", graphPath, "-index", idxPath, "3", "7", "10", "10"}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := cmdQuery([]string{"-graph", graphPath, "-index", idxPath, "-disk", "3", "7"}); err != nil {
+		t.Fatalf("disk query: %v", err)
+	}
+	if err := cmdSource([]string{"-graph", graphPath, "-index", idxPath, "-node", "3", "-top", "5"}); err != nil {
+		t.Fatalf("source: %v", err)
+	}
+}
+
+func TestBuildOutOfCorePipeline(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	idxPath := filepath.Join(t.TempDir(), "ooc.sling")
+	spill := t.TempDir()
+	if err := cmdBuild([]string{"-graph", graphPath, "-eps", "0.1", "-out", idxPath,
+		"-ooc", spill, "-mem", "1"}); err != nil {
+		t.Fatalf("out-of-core build: %v", err)
+	}
+	if err := cmdQuery([]string{"-graph", graphPath, "-index", idxPath, "1", "2"}); err != nil {
+		t.Fatalf("query after ooc build: %v", err)
+	}
+}
+
+func TestBuildEnhanced(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	idxPath := filepath.Join(t.TempDir(), "enh.sling")
+	if err := cmdBuild([]string{"-graph", graphPath, "-eps", "0.1", "-out", idxPath, "-enhance"}); err != nil {
+		t.Fatalf("enhanced build: %v", err)
+	}
+	if err := cmdStats([]string{"-graph", graphPath, "-index", idxPath}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	if err := cmdBuild([]string{"-out", "/dev/null"}); err == nil {
+		t.Fatal("missing -graph accepted")
+	}
+	if err := cmdQuery([]string{"-graph", graphPath, "-index", "/does/not/exist", "1", "2"}); err == nil {
+		t.Fatal("missing index accepted")
+	}
+	idxPath := filepath.Join(t.TempDir(), "x.sling")
+	if err := cmdBuild([]string{"-graph", graphPath, "-eps", "0.1", "-out", idxPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-graph", graphPath, "-index", idxPath, "1"}); err == nil {
+		t.Fatal("odd node-argument count accepted")
+	}
+	if err := cmdQuery([]string{"-graph", graphPath, "-index", idxPath, "1", "100000"}); err == nil {
+		t.Fatal("unknown node label accepted")
+	}
+	if err := cmdSource([]string{"-graph", graphPath, "-index", idxPath, "-node", "424242"}); err == nil {
+		t.Fatal("unknown source label accepted")
+	}
+}

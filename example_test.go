@@ -1,0 +1,78 @@
+package sling_test
+
+import (
+	"fmt"
+	"strings"
+
+	"sling"
+)
+
+// Two papers (0 and 1) cited by the same two surveys (2 and 3) are
+// structurally similar; exact SimRank gives s(0,1) = c/2 = 0.30
+// (the surveys themselves share no citers, so s(2,3) = 0).
+func Example() {
+	b := sling.NewGraphBuilder(4)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 1)
+	b.AddEdge(3, 0)
+	b.AddEdge(3, 1)
+	g := b.Build()
+
+	ix, err := sling.Build(g, &sling.Options{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("s(0,1) = %.2f\n", ix.SimRank(0, 1))
+	fmt.Printf("s(0,2) = %.2f\n", ix.SimRank(0, 2))
+	// Output:
+	// s(0,1) = 0.30
+	// s(0,2) = 0.00
+}
+
+func ExampleIndex_TopK() {
+	// A small co-citation cluster: 0 and 1 share both citers, 5 shares
+	// one citer with them.
+	b := sling.NewGraphBuilder(6)
+	for _, e := range [][2]sling.NodeID{
+		{2, 0}, {3, 0}, {2, 1}, {3, 1}, {3, 5}, {4, 5},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	ix, err := sling.Build(b.Build(), &sling.Options{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range ix.TopK(0, 2) {
+		fmt.Printf("node %d score %.2f\n", s.Node, s.Score)
+	}
+	// Output:
+	// node 1 score 0.30
+	// node 5 score 0.15
+}
+
+func ExampleIndex_SingleSource() {
+	b := sling.NewGraphBuilder(4)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 1)
+	b.AddEdge(3, 0)
+	b.AddEdge(3, 1)
+	ix, err := sling.Build(b.Build(), &sling.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	scores := ix.SingleSource(0, nil)
+	fmt.Printf("s(0,1) = %.2f\n", scores[1])
+	// Output:
+	// s(0,1) = 0.30
+}
+
+func ExampleLoadEdgeList() {
+	const data = "# a tiny SNAP-format file\n10 30\n20 30\n"
+	g, labels, err := sling.LoadEdgeList(strings.NewReader(data), false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("n=%d m=%d first-label=%d\n", g.NumNodes(), g.NumEdges(), labels[0])
+	// Output:
+	// n=3 m=2 first-label=10
+}

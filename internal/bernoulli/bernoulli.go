@@ -1,0 +1,98 @@
+// Package bernoulli estimates the mean of a Bernoulli distribution to a
+// target additive error with asymptotically optimal sample counts.
+//
+// It is the generalized form of Algorithm 4 of the SLING paper (Section
+// 5.1): a first batch of O(log(1/δ)/ε) samples yields a crude estimate μ̂;
+// if μ̂ ≤ ε the crude estimate is already within ε, otherwise a second
+// batch sized by the upper bound μ* = μ̂ + √(μ̂ε) brings the total to
+// O((μ+ε)/ε² · log(1/δ)) — matching the Dagum-Karp-Luby-Ross lower bound
+// (Lemma 11 of the paper) up to constants. SLING uses it to estimate each
+// correction factor d_k from √c-walk pair collisions.
+package bernoulli
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sampler produces one independent Bernoulli sample.
+type Sampler func() bool
+
+// Result reports an estimate and the number of samples it consumed.
+type Result struct {
+	Mean    float64
+	Samples int
+}
+
+func validate(eps, delta float64) error {
+	if !(eps > 0 && eps < 1) {
+		return fmt.Errorf("bernoulli: eps %v out of (0,1)", eps)
+	}
+	if !(delta > 0 && delta < 1) {
+		return fmt.Errorf("bernoulli: delta %v out of (0,1)", delta)
+	}
+	return nil
+}
+
+// FixedSamples returns the sample count of the non-adaptive estimator
+// (Algorithm 1 of the paper in its generalized form):
+// n = (2 + ε)/ε² · log(2/δ).
+func FixedSamples(eps, delta float64) int {
+	return int(math.Ceil((2 + eps) / (eps * eps) * math.Log(2/delta)))
+}
+
+// FirstBatchSamples returns the pilot batch size of the adaptive
+// estimator: n = 14/(3ε) · log(4/δ).
+func FirstBatchSamples(eps, delta float64) int {
+	return int(math.Ceil(14 / (3 * eps) * math.Log(4/delta)))
+}
+
+// EstimateFixed estimates the mean with the non-adaptive sampler. With
+// probability at least 1−δ the estimate has additive error at most ε.
+func EstimateFixed(sample Sampler, eps, delta float64) (Result, error) {
+	if err := validate(eps, delta); err != nil {
+		return Result{}, err
+	}
+	n := FixedSamples(eps, delta)
+	cnt := 0
+	for i := 0; i < n; i++ {
+		if sample() {
+			cnt++
+		}
+	}
+	return Result{Mean: float64(cnt) / float64(n), Samples: n}, nil
+}
+
+// Estimate estimates the mean with the adaptive two-phase sampler
+// (Algorithm 4, generalized). With probability at least 1−δ the estimate
+// has additive error at most ε, and the expected sample count is
+// O((μ+ε)/ε² · log(1/δ)).
+func Estimate(sample Sampler, eps, delta float64) (Result, error) {
+	if err := validate(eps, delta); err != nil {
+		return Result{}, err
+	}
+	nr := FirstBatchSamples(eps, delta)
+	cnt := 0
+	for i := 0; i < nr; i++ {
+		if sample() {
+			cnt++
+		}
+	}
+	muHat := float64(cnt) / float64(nr)
+	if muHat <= eps {
+		return Result{Mean: muHat, Samples: nr}, nil
+	}
+	// Second phase: μ* upper-bounds μ w.h.p.; size the total batch by it.
+	muStar := muHat + math.Sqrt(muHat*eps)
+	logTerm := math.Log(4 / delta)
+	nStar := int(math.Ceil((2*muStar + 2.0/3.0*eps) / (eps * eps) * logTerm))
+	if nStar <= nr {
+		return Result{Mean: muHat, Samples: nr}, nil
+	}
+	for i := nr; i < nStar; i++ {
+		if sample() {
+			cnt++
+		}
+	}
+	return Result{Mean: float64(cnt) / float64(nStar), Samples: nStar}, nil
+}

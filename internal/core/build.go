@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"sling/internal/graph"
+	"sling/internal/rng"
+	"sling/internal/walk"
+)
+
+// BuildStats reports work done during preprocessing.
+type BuildStats struct {
+	WalkPairs int64 // √c-walk pairs drawn for correction factors
+	HPPushes  int64 // local-update pushes of Algorithm 2
+	Entries   int   // HP entries kept before space reduction
+	Dropped   int   // entries removed by the Section 5.2 reduction
+}
+
+// Build constructs a SLING index over g. See Options for knobs; the zero
+// options reproduce the paper's experimental configuration.
+func Build(g *graph.Graph, o *Options) (*Index, error) {
+	x, _, err := BuildWithStats(g, o)
+	return x, err
+}
+
+// BuildWithStats is Build plus preprocessing statistics.
+func BuildWithStats(g *graph.Graph, o *Options) (*Index, BuildStats, error) {
+	var st BuildStats
+	prm, err := o.resolve(g.NumNodes())
+	if err != nil {
+		return nil, st, err
+	}
+	n := g.NumNodes()
+	x := &Index{g: g, prm: prm, d: make([]float64, n), reduced: make([]bool, n)}
+	if n == 0 {
+		x.off = make([]int64, 1)
+		x.markOff = make([]int64, 1)
+		return x, st, nil
+	}
+
+	// Phase 1+2, parallel over target nodes k (Section 5.4): estimate d̃_k
+	// (Algorithm 1 or 4) and run the local-update pass (Algorithm 2).
+	// Workers own contiguous k-ranges; all sampling for node k is seeded
+	// by (Seed, k), so the result is identical at any worker count.
+	workers := prm.workers
+	if workers > n {
+		workers = n
+	}
+	outs := make([][]hpEntry, workers)
+	pairCounts := make([]int64, workers)
+	pushCounts := make([]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			outs[w] = nil
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			scratch := newHPScratch(n)
+			var out []hpEntry
+			for k := lo; k < hi; k++ {
+				wk := walk.New(g, prm.c, rng.New(mixSeed(prm.seed, k)))
+				dk, pairs := estimateD(g, wk, graph.NodeID(k), prm)
+				x.d[k] = dk
+				pairCounts[w] += int64(pairs)
+				var pushes int64
+				out, pushes = hpPass(g, graph.NodeID(k), prm.sqrtC, prm.theta, scratch, out)
+				pushCounts[w] += pushes
+			}
+			outs[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		st.WalkPairs += pairCounts[w]
+		st.HPPushes += pushCounts[w]
+		st.Entries += len(outs[w])
+	}
+
+	// Phase 3: decide space reduction per node (Section 5.2) before
+	// assembling the CSR, so dropped entries are never materialized.
+	if prm.spaceReduction {
+		cap := prm.gamma / prm.theta
+		for v := int32(0); int(v) < n; v++ {
+			if float64(twoHopVolume(g, v)) <= cap {
+				x.reduced[v] = true
+			}
+		}
+	}
+
+	// Phase 4: assemble the per-node CSR by counting scatter over the
+	// worker outputs in k-order (deterministic), then sort each node's
+	// entries by (step, target) key.
+	keep := func(e hpEntry) bool {
+		if !x.reduced[e.x] {
+			return true
+		}
+		l := keyStep(e.key)
+		return l < 1 || l > 2
+	}
+	counts := make([]int64, n+1)
+	total := 0
+	for _, out := range outs {
+		for _, e := range out {
+			if keep(e) {
+				counts[e.x+1]++
+				total++
+			}
+		}
+	}
+	st.Dropped = st.Entries - total
+	x.off = counts
+	for v := 0; v < n; v++ {
+		x.off[v+1] += x.off[v]
+	}
+	x.keys = make([]uint64, total)
+	x.vals = make([]float64, total)
+	cursor := make([]int64, n)
+	copy(cursor, x.off[:n])
+	for _, out := range outs {
+		for _, e := range out {
+			if keep(e) {
+				c := cursor[e.x]
+				x.keys[c] = e.key
+				x.vals[c] = e.val
+				cursor[e.x]++
+			}
+		}
+		// Worker output is no longer needed; let it be collected before
+		// sorting temporarily doubles pressure on large builds.
+	}
+	for v := 0; v < n; v++ {
+		sortEntries(x.keys[x.off[v]:x.off[v+1]], x.vals[x.off[v]:x.off[v+1]])
+	}
+
+	// Phase 5: enhancement marks (Section 5.3).
+	if prm.enhance {
+		x.buildMarks()
+	} else {
+		x.markOff = make([]int64, n+1)
+	}
+	return x, st, nil
+}
+
+// twoHopVolume returns η(v) = |I(v)| + Σ_{x∈I(v)} |I(x)|, the cost of
+// recomputing v's step-1/2 HPs exactly with Algorithm 5.
+func twoHopVolume(g *graph.Graph, v graph.NodeID) int64 {
+	ins := g.InNeighbors(v)
+	vol := int64(len(ins))
+	for _, u := range ins {
+		vol += int64(g.InDegree(u))
+	}
+	return vol
+}
+
+func mixSeed(seed uint64, v int) uint64 {
+	z := seed ^ (uint64(v)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}
+
+// kvSorter sorts keys and vals in lockstep by key.
+type kvSorter struct {
+	keys []uint64
+	vals []float64
+}
+
+func (s kvSorter) Len() int           { return len(s.keys) }
+func (s kvSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s kvSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+func sortEntries(keys []uint64, vals []float64) {
+	sort.Sort(kvSorter{keys, vals})
+}
+
+// buildMarks implements the Section 5.3 build-time step: for each node,
+// among stored entries whose target has in-degree at most 1/√ε, mark the
+// ⌈1/√ε⌉ largest for query-time expansion.
+func (x *Index) buildMarks() {
+	n := len(x.d)
+	limit := int(math.Ceil(1 / math.Sqrt(x.prm.eps)))
+	degCap := int(math.Floor(1 / math.Sqrt(x.prm.eps)))
+	x.markOff = make([]int64, n+1)
+	var all []int32
+	type cand struct {
+		pos int32
+		val float64
+	}
+	var cands []cand
+	for v := 0; v < n; v++ {
+		lo, hi := x.off[v], x.off[v+1]
+		cands = cands[:0]
+		for p := lo; p < hi; p++ {
+			target := keyNode(x.keys[p])
+			if x.g.InDegree(target) <= degCap && x.g.InDegree(target) > 0 {
+				cands = append(cands, cand{pos: int32(p - lo), val: x.vals[p]})
+			}
+		}
+		if len(cands) > limit {
+			sort.Slice(cands, func(i, j int) bool { return cands[i].val > cands[j].val })
+			cands = cands[:limit]
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].pos < cands[j].pos })
+		for _, c := range cands {
+			all = append(all, c.pos)
+		}
+		x.markOff[v+1] = int64(len(all))
+	}
+	x.marks = all
+}
+
+// String summarizes the index.
+func (x *Index) String() string {
+	return fmt.Sprintf("sling.Index{n=%d entries=%d eps=%g theta=%g}",
+		len(x.d), len(x.keys), x.prm.eps, x.prm.theta)
+}

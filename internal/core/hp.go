@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sling/internal/graph"
+)
+
+// Hitting-probability set construction (Algorithm 2 of the paper).
+//
+// For a fixed target node k, the local-update pass computes every
+// approximate HP h̃^(ℓ)(x, k) > θ by propagating mass forward along
+// out-edges:
+//
+//	h̃^(ℓ+1)(i, k) += √c/|I(i)| · h̃^(ℓ)(x, k)   for each out-neighbor i of x,
+//
+// starting from h̃^(0)(k, k) = 1 and dropping entries once they fall to θ
+// or below. By Lemma 7 each surviving entry underestimates the true HP by
+// at most θ·(1−(√c)^ℓ)/(1−√c), the pass costs O(out-volume/θ) and yields
+// O(1/θ) entries.
+
+// hpEntry is one surviving approximate HP destined for H(x): the source
+// node x, the packed (step, target) key, and the value.
+type hpEntry struct {
+	x   int32
+	key uint64
+	val float64
+}
+
+// hpScratch holds the dense frontier state reused across target nodes so
+// the per-node pass does not allocate.
+type hpScratch struct {
+	cur, next         []float64
+	curList, nextList []int32
+}
+
+func newHPScratch(n int) *hpScratch {
+	return &hpScratch{
+		cur:  make([]float64, n),
+		next: make([]float64, n),
+	}
+}
+
+// hpPass runs Algorithm 2 for target node k, appending every surviving
+// entry (x, ℓ, h̃) to out as an hpEntry keyed for H(x). It returns the
+// extended slice and the number of propagation pushes performed (the
+// Lemma 7 cost measure, reported by build stats).
+func hpPass(g *graph.Graph, k graph.NodeID, sqrtC, theta float64, s *hpScratch, out []hpEntry) ([]hpEntry, int64) {
+	pushes := int64(0)
+	s.curList = append(s.curList[:0], int32(k))
+	s.cur[k] = 1
+	for l := 0; len(s.curList) > 0; l++ {
+		s.nextList = s.nextList[:0]
+		for _, x := range s.curList {
+			h := s.cur[x]
+			s.cur[x] = 0
+			if h <= theta {
+				continue
+			}
+			out = append(out, hpEntry{x: x, key: entryKey(l, int32(k)), val: h})
+			for _, i := range g.OutNeighbors(x) {
+				ins := float64(g.InDegree(i))
+				add := sqrtC * h / ins
+				if s.next[i] == 0 {
+					s.nextList = append(s.nextList, i)
+				}
+				s.next[i] += add
+				pushes++
+			}
+		}
+		s.cur, s.next = s.next, s.cur
+		s.curList, s.nextList = s.nextList, s.curList
+	}
+	return out, pushes
+}

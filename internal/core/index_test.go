@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryKeyRoundTrip(t *testing.T) {
+	f := func(lRaw uint8, k int32) bool {
+		l := int(lRaw % 64)
+		if k < 0 {
+			k = -k
+		}
+		key := entryKey(l, k)
+		return keyStep(key) == l && keyNode(key) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryKeyOrdering(t *testing.T) {
+	// Keys must sort by (step, node).
+	if !(entryKey(0, 5) < entryKey(1, 0)) {
+		t.Fatal("step not the primary sort key")
+	}
+	if !(entryKey(2, 3) < entryKey(2, 4)) {
+		t.Fatal("node not the secondary sort key")
+	}
+}
+
+func TestFindStep(t *testing.T) {
+	keys := []uint64{
+		entryKey(0, 7),
+		entryKey(1, 2),
+		entryKey(1, 9),
+		entryKey(3, 0),
+	}
+	cases := []struct{ l, want int }{
+		{0, 0}, {1, 1}, {2, 3}, {3, 3}, {4, 4},
+	}
+	for _, c := range cases {
+		if got := findStep(keys, c.l); got != c.want {
+			t.Fatalf("findStep(%d) = %d, want %d", c.l, got, c.want)
+		}
+	}
+}
+
+func TestLookupKey(t *testing.T) {
+	keys := []uint64{entryKey(0, 1), entryKey(2, 5), entryKey(4, 3)}
+	if !lookupKey(keys, entryKey(2, 5)) {
+		t.Fatal("present key not found")
+	}
+	if lookupKey(keys, entryKey(2, 6)) || lookupKey(keys, entryKey(1, 5)) {
+		t.Fatal("absent key found")
+	}
+	if lookupKey(nil, entryKey(0, 0)) {
+		t.Fatal("lookup in empty slice")
+	}
+}
+
+func TestMaxStoredStep(t *testing.T) {
+	sqrtC := math.Sqrt(0.6)
+	theta := 0.000725
+	bound := maxStoredStep(sqrtC, theta)
+	// (√c)^bound must be at or below θ: no entry can survive past it.
+	if math.Pow(sqrtC, float64(bound)) > theta {
+		t.Fatalf("maxStoredStep %d too small", bound)
+	}
+	// And it should not be wasteful by more than a couple of steps.
+	if math.Pow(sqrtC, float64(bound-3)) < theta {
+		t.Fatalf("maxStoredStep %d too large", bound)
+	}
+	if maxStoredStep(sqrtC, 1) != 0 {
+		t.Fatal("theta >= 1 should yield 0")
+	}
+}
+
+func TestSortEntries(t *testing.T) {
+	keys := []uint64{entryKey(2, 1), entryKey(0, 3), entryKey(1, 0)}
+	vals := []float64{0.2, 0.9, 0.5}
+	sortEntries(keys, vals)
+	if keys[0] != entryKey(0, 3) || vals[0] != 0.9 {
+		t.Fatalf("pairing broken: %v %v", keys, vals)
+	}
+	if keys[2] != entryKey(2, 1) || vals[2] != 0.2 {
+		t.Fatalf("pairing broken: %v %v", keys, vals)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sort"
+
+	"sling/internal/graph"
+)
+
+// The inverted-list single-source approach (Section 6 of the paper).
+//
+// For every (step ℓ, meeting node k) key that occurs in any H(v), an
+// inverted list L(k, ℓ) records the nodes v with h̃^(ℓ)(v, k) > 0. A
+// single-source query from u then touches only the lists keyed by H(u):
+//
+//	s̃(u, v) = Σ_{(ℓ,k) ∈ H(u)} h̃^(ℓ)(u,k) · d̃_k · h̃^(ℓ)(v,k),
+//
+// accumulated per v. The paper notes the trade-off this type makes
+// concrete: queries get faster than the straightforward Algorithm 3 loop,
+// but the lists duplicate every HP entry (≈2× space), and they cannot
+// coexist with the Section 5.2 space reduction — the reduced step-1/2
+// entries must be materialized back. Algorithm 6 (Index.SingleSource) is
+// the paper's middle ground; Inverted exists to reproduce the comparison
+// and to serve workloads that want the fastest single-source at any
+// space cost.
+
+// Inverted is the inverted-list companion structure of an Index.
+type Inverted struct {
+	x *Index
+
+	// keys are the distinct (step, node) entry keys, sorted; list i spans
+	// nodes/vals[off[i]:off[i+1]] with nodes sorted ascending.
+	keys  []uint64
+	off   []int64
+	nodes []int32
+	vals  []float64
+}
+
+// BuildInverted materializes the inverted lists for the index. Entries
+// dropped by the space reduction are reconstructed exactly (Algorithm 5),
+// so the lists describe the same effective HP sets queries use. The
+// Section 5.3 enhancement is a query-time construction and is not
+// reflected in the lists.
+func (x *Index) BuildInverted() *Inverted {
+	n := len(x.d)
+	type entry struct {
+		key uint64
+		v   int32
+		h   float64
+	}
+	var all []entry
+	s := x.NewScratch()
+	var bufK []uint64
+	var bufV []float64
+	for v := 0; v < n; v++ {
+		stored, storedVals := x.EntriesOf(graph.NodeID(v))
+		keys, vals := stored, storedVals
+		if x.reduced[v] {
+			keys, vals = bufK[:0], bufV[:0]
+			cut := findStep(stored, 1)
+			keys = append(keys, stored[:cut]...)
+			vals = append(vals, storedVals[:cut]...)
+			keys, vals = x.appendExactSteps12(graph.NodeID(v), s, keys, vals)
+			keys = append(keys, stored[cut:]...)
+			vals = append(vals, storedVals[cut:]...)
+			bufK, bufV = keys, vals
+		}
+		for i := range keys {
+			all = append(all, entry{key: keys[i], v: int32(v), h: vals[i]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].key != all[j].key {
+			return all[i].key < all[j].key
+		}
+		return all[i].v < all[j].v
+	})
+	iv := &Inverted{x: x}
+	for i, e := range all {
+		if i == 0 || all[i-1].key != e.key {
+			iv.keys = append(iv.keys, e.key)
+			iv.off = append(iv.off, int64(i))
+		}
+		iv.nodes = append(iv.nodes, e.v)
+		iv.vals = append(iv.vals, e.h)
+	}
+	iv.off = append(iv.off, int64(len(all)))
+	return iv
+}
+
+// Bytes returns the memory footprint of the inverted lists.
+func (iv *Inverted) Bytes() int64 {
+	return int64(len(iv.keys))*8 + int64(len(iv.off))*8 +
+		int64(len(iv.nodes))*4 + int64(len(iv.vals))*8
+}
+
+// NumLists returns the number of distinct (step, node) keys.
+func (iv *Inverted) NumLists() int { return len(iv.keys) }
+
+// list returns the inverted list for key, or empty slices if absent.
+func (iv *Inverted) list(key uint64) ([]int32, []float64) {
+	i := sort.Search(len(iv.keys), func(i int) bool { return iv.keys[i] >= key })
+	if i == len(iv.keys) || iv.keys[i] != key {
+		return nil, nil
+	}
+	return iv.nodes[iv.off[i]:iv.off[i+1]], iv.vals[iv.off[i]:iv.off[i+1]]
+}
+
+// SingleSource answers s̃(u, ·) by scanning the inverted lists keyed by
+// H(u). The result equals the Algorithm-3 loop exactly (same entry sets,
+// same arithmetic) at a fraction of the cost; out is reused when it has
+// capacity n.
+func (iv *Inverted) SingleSource(u graph.NodeID, s *Scratch, out []float64) []float64 {
+	x := iv.x
+	if s == nil {
+		s = x.NewScratch()
+	}
+	n := x.g.NumNodes()
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	// Effective H(u) without the query-time enhancement, matching how the
+	// lists were built.
+	stored, storedVals := x.EntriesOf(u)
+	keys, vals := stored, storedVals
+	if x.reduced[u] {
+		k2, v2 := s.ka[:0], s.va[:0]
+		cut := findStep(stored, 1)
+		k2 = append(k2, stored[:cut]...)
+		v2 = append(v2, storedVals[:cut]...)
+		k2, v2 = x.appendExactSteps12(u, s, k2, v2)
+		k2 = append(k2, stored[cut:]...)
+		v2 = append(v2, storedVals[cut:]...)
+		s.ka, s.va = k2, v2
+		keys, vals = k2, v2
+	}
+	for i, key := range keys {
+		hu := vals[i] * x.d[keyNode(key)]
+		nodes, hs := iv.list(key)
+		for j, v := range nodes {
+			out[v] += hu * hs[j]
+		}
+	}
+	return out
+}

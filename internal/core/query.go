@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sort"
+
+	"sling/internal/graph"
+)
+
+// Single-pair queries (Algorithm 3) plus the query-time halves of the
+// Section 5.2 space reduction (exact step-1/2 reconstruction, Algorithm 5)
+// and the Section 5.3 accuracy enhancement (one-step expansion of marked
+// entries into H*(v)).
+
+// Scratch holds per-query buffers so queries do not allocate. Each
+// goroutine querying an Index concurrently needs its own Scratch.
+type Scratch struct {
+	ka, kb []uint64
+	va, vb []float64
+
+	// Dense accumulator with a touched list for Algorithm 5 step-2 sums
+	// and enhancement expansion.
+	acc     []float64
+	touched []int32
+
+	addKeys []uint64
+	addVals []float64
+}
+
+// NewScratch sizes a Scratch for the index's graph.
+func (x *Index) NewScratch() *Scratch {
+	return &Scratch{acc: make([]float64, x.g.NumNodes())}
+}
+
+// appendExactSteps12 appends node v's exact step-1 and step-2 HPs
+// (Algorithm 5) to keys/vals in key order. The step-0 entry is not
+// appended; callers take it from stored entries.
+func (x *Index) appendExactSteps12(v graph.NodeID, s *Scratch, keys []uint64, vals []float64) ([]uint64, []float64) {
+	ins := x.g.InNeighbors(v)
+	if len(ins) == 0 {
+		return keys, vals
+	}
+	h1 := x.prm.sqrtC / float64(len(ins))
+	// Step 1: one exact entry per in-neighbor, already sorted by node.
+	for _, u := range ins {
+		keys = append(keys, entryKey(1, u))
+		vals = append(vals, h1)
+	}
+	// Step 2: accumulate over two-hop in-paths.
+	s.touched = s.touched[:0]
+	for _, u := range ins {
+		uins := x.g.InNeighbors(u)
+		if len(uins) == 0 {
+			continue
+		}
+		add := x.prm.sqrtC * h1 / float64(len(uins))
+		for _, y := range uins {
+			if s.acc[y] == 0 {
+				s.touched = append(s.touched, y)
+			}
+			s.acc[y] += add
+		}
+	}
+	sort.Slice(s.touched, func(i, j int) bool { return s.touched[i] < s.touched[j] })
+	for _, y := range s.touched {
+		keys = append(keys, entryKey(2, y))
+		vals = append(vals, s.acc[y])
+		s.acc[y] = 0
+	}
+	return keys, vals
+}
+
+// gather materializes the effective HP set of node v — stored entries,
+// with exact step-1/2 reconstruction when v is space-reduced and the
+// H*(v) enhancement expansion when the index was built with Enhance —
+// sorted by key.
+//
+// When v needs neither treatment the returned slices alias index storage
+// and *bufK/*bufV are untouched; otherwise the result is built in the
+// buffers, which are updated in place so their growth is kept. Either
+// way the result is read-only to the caller.
+func (x *Index) gather(v graph.NodeID, s *Scratch, bufK *[]uint64, bufV *[]float64) ([]uint64, []float64) {
+	stored, storedVals := x.EntriesOf(v)
+	return x.gatherFrom(v, stored, storedVals, s, bufK, bufV)
+}
+
+// gatherFrom is gather over caller-supplied stored entries; it is the
+// shared path between the in-memory Index and the disk-resident index,
+// which fetches a node's entries with a pread before transforming them.
+func (x *Index) gatherFrom(v graph.NodeID, stored []uint64, storedVals []float64, s *Scratch, bufK *[]uint64, bufV *[]float64) ([]uint64, []float64) {
+	enhance := x.prm.enhance && x.markOff[v+1] > x.markOff[v]
+	if !x.reduced[v] && !enhance {
+		return stored, storedVals
+	}
+	keys, vals := (*bufK)[:0], (*bufV)[:0]
+	if x.reduced[v] {
+		// Stored layout: step 0, then steps >= 3. Interleave the exact
+		// steps 1-2 between them, preserving key order.
+		cut := findStep(stored, 1)
+		keys = append(keys, stored[:cut]...)
+		vals = append(vals, storedVals[:cut]...)
+		keys, vals = x.appendExactSteps12(v, s, keys, vals)
+		keys = append(keys, stored[cut:]...)
+		vals = append(vals, storedVals[cut:]...)
+	} else {
+		keys = append(keys, stored...)
+		vals = append(vals, storedVals...)
+	}
+	if enhance {
+		lo, hi := x.markOff[v], x.markOff[v+1]
+		keys, vals = x.expandMarks(x.marks[lo:hi], stored, storedVals, s, keys, vals)
+	}
+	*bufK, *bufV = keys, vals
+	return keys, vals
+}
+
+// expandMarks implements the H*(v) construction of Section 5.3: each
+// marked entry h̃^(ℓ)(v, j) donates √c/|I(j)|·h̃^(ℓ)(v, j) to the step-ℓ+1
+// entry of every in-neighbor of j that H(v) does not already cover.
+// marks are positions relative to the stored entry arrays. The additions
+// are merged into keys/vals, which must be sorted; the merged result is
+// returned.
+func (x *Index) expandMarks(marks []int32, storedK []uint64, storedV []float64, s *Scratch, keys []uint64, vals []float64) ([]uint64, []float64) {
+	s.addKeys, s.addVals = s.addKeys[:0], s.addVals[:0]
+	for _, rel := range marks {
+		l := keyStep(storedK[rel])
+		j := keyNode(storedK[rel])
+		h := storedV[rel]
+		ins := x.g.InNeighbors(j)
+		if len(ins) == 0 {
+			continue
+		}
+		add := x.prm.sqrtC * h / float64(len(ins))
+		for _, k := range ins {
+			key := entryKey(l+1, k)
+			if lookupKey(keys, key) {
+				continue // H(v) already covers it with a tighter bound
+			}
+			s.addKeys = append(s.addKeys, key)
+			s.addVals = append(s.addVals, add)
+		}
+	}
+	if len(s.addKeys) == 0 {
+		return keys, vals
+	}
+	sortEntries(s.addKeys, s.addVals)
+	// Fold duplicates (several marked entries can donate to the same k).
+	w := 0
+	for i := 0; i < len(s.addKeys); i++ {
+		if w > 0 && s.addKeys[w-1] == s.addKeys[i] {
+			s.addVals[w-1] += s.addVals[i]
+			continue
+		}
+		s.addKeys[w], s.addVals[w] = s.addKeys[i], s.addVals[i]
+		w++
+	}
+	s.addKeys, s.addVals = s.addKeys[:w], s.addVals[:w]
+	// Merge the sorted additions into the sorted base, in place at the
+	// tail of keys/vals.
+	keys = append(keys, s.addKeys...)
+	vals = append(vals, s.addVals...)
+	sortEntries(keys, vals)
+	return keys, vals
+}
+
+// SimRank returns s̃(u, v) with at most ErrorBound() additive error
+// (Theorem 1), evaluated by the Algorithm 3 merge join
+// s̃ = Σ_{(ℓ,k)} h̃^(ℓ)(u,k)·d̃_k·h̃^(ℓ)(v,k). A nil scratch allocates one.
+func (x *Index) SimRank(u, v graph.NodeID, s *Scratch) float64 {
+	if s == nil {
+		s = x.NewScratch()
+	}
+	ku, vu := x.gather(u, s, &s.ka, &s.va)
+	kv, vv := x.gather(v, s, &s.kb, &s.vb)
+	return joinScore(ku, vu, kv, vv, x.d)
+}
+
+// joinScore merge-joins two sorted HP entry lists and accumulates
+// Σ h_u·d_k·h_v over shared (step, node) keys.
+func joinScore(ku []uint64, vu []float64, kv []uint64, vv []float64, d []float64) float64 {
+	total := 0.0
+	i, j := 0, 0
+	for i < len(ku) && j < len(kv) {
+		a, b := ku[i], kv[j]
+		switch {
+		case a == b:
+			total += vu[i] * d[keyNode(a)] * vv[j]
+			i++
+			j++
+		case a < b:
+			// Galloping would help skewed lists; linear advance is fine at
+			// the O(1/ε) sizes SLING guarantees.
+			i++
+		default:
+			j++
+		}
+	}
+	return total
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"sling/internal/graph"
+)
+
+// Index file format (all little-endian):
+//
+//	magic "SLIX" | version u32 | n u32 | flags u32 | pad u32
+//	c, eps, epsD, theta, delta, gamma f64 | seed u64
+//	numEntries u64 | numMarks u64
+//	d        n × f64
+//	reduced  ⌈n/8⌉ bytes (bitmap)
+//	off      (n+1) × i64
+//	markOff  (n+1) × i64
+//	marks    numMarks × i32
+//	entries  numEntries × (key u64, val f64)   ← interleaved for preads
+//
+// Everything before the entries region is O(n) and loaded eagerly; the
+// entries region supports the paper's Section 5.4 disk-resident mode: a
+// single-pair query reads two contiguous node ranges with positioned
+// reads, a constant I/O cost since each H(v) is O(1/ε) bytes.
+const (
+	indexMagic   = "SLIX"
+	indexVersion = 1
+
+	flagEnhance        = 1 << 0
+	flagSpaceReduction = 1 << 1
+	flagBasicEstimator = 1 << 2
+)
+
+func (x *Index) flags() uint32 {
+	var f uint32
+	if x.prm.enhance {
+		f |= flagEnhance
+	}
+	if x.prm.spaceReduction {
+		f |= flagSpaceReduction
+	}
+	if x.prm.basicEstimator {
+		f |= flagBasicEstimator
+	}
+	return f
+}
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	n := len(x.d)
+	hdr := make([]byte, 4+4+4+4+4+6*8+8+8+8)
+	copy(hdr, indexMagic)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[4:], indexVersion)
+	le.PutUint32(hdr[8:], uint32(n))
+	le.PutUint32(hdr[12:], x.flags())
+	le.PutUint32(hdr[16:], 0)
+	le.PutUint64(hdr[20:], math.Float64bits(x.prm.c))
+	le.PutUint64(hdr[28:], math.Float64bits(x.prm.eps))
+	le.PutUint64(hdr[36:], math.Float64bits(x.prm.epsD))
+	le.PutUint64(hdr[44:], math.Float64bits(x.prm.theta))
+	le.PutUint64(hdr[52:], math.Float64bits(x.prm.delta))
+	le.PutUint64(hdr[60:], math.Float64bits(x.prm.gamma))
+	le.PutUint64(hdr[68:], x.prm.seed)
+	le.PutUint64(hdr[76:], uint64(len(x.keys)))
+	le.PutUint64(hdr[84:], uint64(len(x.marks)))
+	if _, err := cw.Write(hdr); err != nil {
+		return cw.n, err
+	}
+	buf := make([]byte, 16)
+	for _, v := range x.d {
+		le.PutUint64(buf, math.Float64bits(v))
+		if _, err := cw.Write(buf[:8]); err != nil {
+			return cw.n, err
+		}
+	}
+	bitmap := make([]byte, (n+7)/8)
+	for v, r := range x.reduced {
+		if r {
+			bitmap[v/8] |= 1 << (v % 8)
+		}
+	}
+	if _, err := cw.Write(bitmap); err != nil {
+		return cw.n, err
+	}
+	for _, o := range x.off {
+		le.PutUint64(buf, uint64(o))
+		if _, err := cw.Write(buf[:8]); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, o := range x.markOff {
+		le.PutUint64(buf, uint64(o))
+		if _, err := cw.Write(buf[:8]); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, m := range x.marks {
+		le.PutUint32(buf, uint32(m))
+		if _, err := cw.Write(buf[:4]); err != nil {
+			return cw.n, err
+		}
+	}
+	for i := range x.keys {
+		le.PutUint64(buf, x.keys[i])
+		le.PutUint64(buf[8:], math.Float64bits(x.vals[i]))
+		if _, err := cw.Write(buf); err != nil {
+			return cw.n, err
+		}
+	}
+	if bw, ok := cw.w.(*bufio.Writer); ok {
+		if err := bw.Flush(); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// SaveFile writes the index to path.
+func (x *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := x.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readMeta parses everything before the entries region into a skeleton
+// Index (keys/vals empty) and returns the byte offset of the entries
+// region and the entry count.
+func readMeta(r io.Reader, g *graph.Graph) (*Index, int64, int64, error) {
+	le := binary.LittleEndian
+	hdr := make([]byte, 92)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, 0, 0, fmt.Errorf("core: reading index header: %w", err)
+	}
+	if string(hdr[:4]) != indexMagic {
+		return nil, 0, 0, errors.New("core: bad magic; not a SLIX file")
+	}
+	if v := le.Uint32(hdr[4:]); v != indexVersion {
+		return nil, 0, 0, fmt.Errorf("core: unsupported index version %d", v)
+	}
+	n := int(le.Uint32(hdr[8:]))
+	if g != nil && g.NumNodes() != n {
+		return nil, 0, 0, fmt.Errorf("core: index built for n=%d nodes, graph has %d", n, g.NumNodes())
+	}
+	flags := le.Uint32(hdr[12:])
+	var prm resolved
+	prm.c = math.Float64frombits(le.Uint64(hdr[20:]))
+	prm.eps = math.Float64frombits(le.Uint64(hdr[28:]))
+	prm.epsD = math.Float64frombits(le.Uint64(hdr[36:]))
+	prm.theta = math.Float64frombits(le.Uint64(hdr[44:]))
+	prm.delta = math.Float64frombits(le.Uint64(hdr[52:]))
+	prm.gamma = math.Float64frombits(le.Uint64(hdr[60:]))
+	prm.seed = le.Uint64(hdr[68:])
+	prm.sqrtC = math.Sqrt(prm.c)
+	prm.workers = 1
+	prm.enhance = flags&flagEnhance != 0
+	prm.spaceReduction = flags&flagSpaceReduction != 0
+	prm.basicEstimator = flags&flagBasicEstimator != 0
+	if prm.c <= 0 || prm.c >= 1 || prm.theta <= 0 {
+		return nil, 0, 0, errors.New("core: corrupt index parameters")
+	}
+	numEntries := int64(le.Uint64(hdr[76:]))
+	numMarks := int64(le.Uint64(hdr[84:]))
+	if numEntries < 0 || numMarks < 0 {
+		return nil, 0, 0, errors.New("core: negative sizes in index header")
+	}
+	x := &Index{g: g, prm: prm}
+	// All counted allocations go through readChunkedU64/U32, which grow
+	// with the bytes actually read, so a corrupt header claiming a huge
+	// size fails at EOF instead of exhausting memory.
+	dBits, err := readChunkedU64(r, int64(n), "d")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	x.d = make([]float64, n)
+	for i, b := range dBits {
+		x.d[i] = math.Float64frombits(b)
+	}
+	bitmap := make([]byte, (n+7)/8)
+	if _, err := io.ReadFull(r, bitmap); err != nil {
+		return nil, 0, 0, fmt.Errorf("core: reading bitmap: %w", err)
+	}
+	x.reduced = make([]bool, n)
+	for v := range x.reduced {
+		x.reduced[v] = bitmap[v/8]&(1<<(v%8)) != 0
+	}
+	offBits, err := readChunkedU64(r, int64(n)+1, "offsets")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	x.off = make([]int64, n+1)
+	for i, b := range offBits {
+		x.off[i] = int64(b)
+	}
+	if x.off[0] != 0 || x.off[n] != numEntries {
+		return nil, 0, 0, errors.New("core: corrupt offset table")
+	}
+	for v := 0; v < n; v++ {
+		if x.off[v] > x.off[v+1] {
+			return nil, 0, 0, errors.New("core: non-monotone offset table")
+		}
+	}
+	markBits, err := readChunkedU64(r, int64(n)+1, "mark offsets")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	x.markOff = make([]int64, n+1)
+	for i, b := range markBits {
+		x.markOff[i] = int64(b)
+	}
+	if x.markOff[0] != 0 || x.markOff[n] != numMarks {
+		return nil, 0, 0, errors.New("core: corrupt mark offset table")
+	}
+	marks32, err := readChunkedU32(r, numMarks, "marks")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	x.marks = make([]int32, numMarks)
+	for i, b := range marks32 {
+		x.marks[i] = int32(b)
+	}
+	entriesOff := int64(92) + int64(8*n) + int64(len(bitmap)) + 2*int64(8*(n+1)) + 4*numMarks
+	return x, entriesOff, numEntries, nil
+}
+
+// readChunkedU64 reads count little-endian uint64s, growing the result
+// incrementally so bogus counts fail at EOF with bounded allocation.
+func readChunkedU64(r io.Reader, count int64, what string) ([]uint64, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("core: negative %s count", what)
+	}
+	const chunk = 1 << 16
+	out := make([]uint64, 0, min64(count, chunk))
+	buf := make([]byte, 8*chunk)
+	for int64(len(out)) < count {
+		want := count - int64(len(out))
+		if want > chunk {
+			want = chunk
+		}
+		if _, err := io.ReadFull(r, buf[:8*want]); err != nil {
+			return nil, fmt.Errorf("core: reading %s: %w", what, err)
+		}
+		for i := int64(0); i < want; i++ {
+			out = append(out, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	return out, nil
+}
+
+// readChunkedU32 is readChunkedU64 for uint32s.
+func readChunkedU32(r io.Reader, count int64, what string) ([]uint32, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("core: negative %s count", what)
+	}
+	const chunk = 1 << 16
+	out := make([]uint32, 0, min64(count, chunk))
+	buf := make([]byte, 4*chunk)
+	for int64(len(out)) < count {
+		want := count - int64(len(out))
+		if want > chunk {
+			want = chunk
+		}
+		if _, err := io.ReadFull(r, buf[:4*want]); err != nil {
+			return nil, fmt.Errorf("core: reading %s: %w", what, err)
+		}
+		for i := int64(0); i < want; i++ {
+			out = append(out, binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return out, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ReadIndex deserializes an index written by WriteTo, binding it to g
+// (which must be the graph it was built over; only the node count is
+// verifiable).
+func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	x, _, numEntries, err := readMeta(br, g)
+	if err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	const chunk = 1 << 16
+	x.keys = make([]uint64, 0, min64(numEntries, chunk))
+	x.vals = make([]float64, 0, min64(numEntries, chunk))
+	buf := make([]byte, 16)
+	for i := int64(0); i < numEntries; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("core: reading entries: %w", err)
+		}
+		x.keys = append(x.keys, le.Uint64(buf))
+		x.vals = append(x.vals, math.Float64frombits(le.Uint64(buf[8:])))
+	}
+	return x, nil
+}
+
+// LoadFile reads an index from path.
+func LoadFile(path string, g *graph.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadIndex(f, g)
+}
+
+// DiskIndex answers queries against an index whose HP entries stay on
+// disk (Section 5.4): only the O(n) metadata (correction factors, flags,
+// offsets) is memory-resident, and each query fetches the two relevant
+// H(v) ranges with positioned reads — a constant I/O cost per query.
+type DiskIndex struct {
+	meta       *Index
+	f          *os.File
+	entriesOff int64
+}
+
+// OpenDiskIndex memory-maps nothing and loads only metadata from path.
+func OpenDiskIndex(path string, g *graph.Graph) (*DiskIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	meta, entriesOff, numEntries, err := readMeta(bufio.NewReaderSize(f, 1<<20), g)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// The offset table was validated monotone with off[n] == numEntries;
+	// cross-check the claimed entries region against the actual file size
+	// so positioned reads cannot be steered past the end.
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if entriesOff+numEntries*16 != st.Size() {
+		f.Close()
+		return nil, fmt.Errorf("core: index file size %d does not match header (want %d)",
+			st.Size(), entriesOff+numEntries*16)
+	}
+	return &DiskIndex{meta: meta, f: f, entriesOff: entriesOff}, nil
+}
+
+// Close releases the underlying file.
+func (d *DiskIndex) Close() error { return d.f.Close() }
+
+// Meta exposes the O(n) in-memory part (graph, parameters, d̃, stats).
+func (d *DiskIndex) Meta() *Index { return d.meta }
+
+// DiskScratch holds per-query buffers for DiskIndex queries.
+type DiskScratch struct {
+	q        *Scratch
+	raw      []byte
+	ka, kb   []uint64
+	va, vb   []float64
+	gka, gkb []uint64
+	gva, gvb []float64
+}
+
+// NewScratch sizes a DiskScratch.
+func (d *DiskIndex) NewScratch() *DiskScratch {
+	return &DiskScratch{q: d.meta.NewScratch()}
+}
+
+// fetch reads node v's stored entries from disk into the given buffers.
+func (d *DiskIndex) fetch(v graph.NodeID, s *DiskScratch, keys *[]uint64, vals *[]float64) ([]uint64, []float64, error) {
+	lo, hi := d.meta.off[v], d.meta.off[v+1]
+	cnt := int(hi - lo)
+	need := cnt * 16
+	if cap(s.raw) < need {
+		s.raw = make([]byte, need)
+	}
+	raw := s.raw[:need]
+	if _, err := d.f.ReadAt(raw, d.entriesOff+lo*16); err != nil {
+		return nil, nil, fmt.Errorf("core: disk index read for node %d: %w", v, err)
+	}
+	k, val := (*keys)[:0], (*vals)[:0]
+	le := binary.LittleEndian
+	for i := 0; i < cnt; i++ {
+		k = append(k, le.Uint64(raw[16*i:]))
+		val = append(val, math.Float64frombits(le.Uint64(raw[16*i+8:])))
+	}
+	*keys, *vals = k, val
+	return k, val, nil
+}
+
+// SingleSource answers a single-source query from disk: one positioned
+// read fetches H(u), then the Algorithm 6 propagation runs as in memory
+// (it needs only the graph and the memory-resident d̃ values).
+func (d *DiskIndex) SingleSource(u graph.NodeID, s *DiskScratch, ss *SourceScratch, out []float64) ([]float64, error) {
+	if s == nil {
+		s = d.NewScratch()
+	}
+	if ss == nil {
+		ss = d.meta.NewSourceScratch()
+	}
+	n := d.meta.g.NumNodes()
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	ku, vu, err := d.fetch(u, s, &s.ka, &s.va)
+	if err != nil {
+		return nil, err
+	}
+	keys, vals := d.meta.gatherFrom(u, ku, vu, s.q, &s.gka, &s.gva)
+	for lo := 0; lo < len(keys); {
+		l := keyStep(keys[lo])
+		hi := lo
+		for hi < len(keys) && keyStep(keys[hi]) == l {
+			hi++
+		}
+		d.meta.propagateStep(keys[lo:hi], vals[lo:hi], l, ss, out)
+		lo = hi
+	}
+	return out, nil
+}
+
+// SimRank answers a single-pair query with two positioned reads.
+func (d *DiskIndex) SimRank(u, v graph.NodeID, s *DiskScratch) (float64, error) {
+	if s == nil {
+		s = d.NewScratch()
+	}
+	ku, vu, err := d.fetch(u, s, &s.ka, &s.va)
+	if err != nil {
+		return 0, err
+	}
+	gku, gvu := d.meta.gatherFrom(u, ku, vu, s.q, &s.gka, &s.gva)
+	kv, vv, err := d.fetch(v, s, &s.kb, &s.vb)
+	if err != nil {
+		return 0, err
+	}
+	gkv, gvv := d.meta.gatherFrom(v, kv, vv, s.q, &s.gkb, &s.gvb)
+	return joinScore(gku, gvu, gkv, gvv, d.meta.d), nil
+}

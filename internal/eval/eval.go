@@ -1,0 +1,166 @@
+// Package eval provides the accuracy metrics of the paper's evaluation:
+// maximum all-pairs error (Figure 5), average error by score group
+// (Figure 6: S1 = [0.1, 1], S2 = [0.01, 0.1), S3 = (0, 0.01)), and top-k
+// pair precision (Figure 7), all measured against power-method ground
+// truth.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sling/internal/graph"
+	"sling/internal/power"
+)
+
+// GroundTruth computes reference all-pairs scores with the power method at
+// accuracy well beyond the methods under test (the paper runs 50
+// iterations; eps=1e-9 reaches that regime at c=0.6).
+func GroundTruth(g *graph.Graph, c float64) (*power.Scores, error) {
+	return power.AllPairs(g, c, power.IterationsFor(1e-9, c))
+}
+
+// MaxError returns the largest |est − truth| over all pairs.
+func MaxError(est, truth *power.Scores) (float64, error) {
+	if est.N != truth.N {
+		return 0, fmt.Errorf("eval: size mismatch %d vs %d", est.N, truth.N)
+	}
+	worst := 0.0
+	for i := range truth.Data {
+		if d := math.Abs(est.Data[i] - truth.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// Grouped reports the Figure 6 metric: mean absolute error within each
+// ground-truth score band, with the pair counts that produced each mean.
+type Grouped struct {
+	S1, S2, S3 float64
+	N1, N2, N3 int
+}
+
+// GroupErrors computes mean absolute error per score group. The diagonal
+// is excluded, matching the paper's focus on cross-node similarity, and
+// exact zeros fall into S3.
+func GroupErrors(est, truth *power.Scores) (Grouped, error) {
+	var g Grouped
+	if est.N != truth.N {
+		return g, fmt.Errorf("eval: size mismatch %d vs %d", est.N, truth.N)
+	}
+	var sum1, sum2, sum3 float64
+	n := truth.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			tv := truth.At(i, j)
+			d := math.Abs(est.At(i, j) - tv)
+			switch {
+			case tv >= 0.1:
+				sum1 += d
+				g.N1++
+			case tv >= 0.01:
+				sum2 += d
+				g.N2++
+			default:
+				sum3 += d
+				g.N3++
+			}
+		}
+	}
+	if g.N1 > 0 {
+		g.S1 = sum1 / float64(g.N1)
+	}
+	if g.N2 > 0 {
+		g.S2 = sum2 / float64(g.N2)
+	}
+	if g.N3 > 0 {
+		g.S3 = sum3 / float64(g.N3)
+	}
+	return g, nil
+}
+
+// ScoredPair is an unordered node pair with a score.
+type ScoredPair struct {
+	U, V  graph.NodeID
+	Score float64
+}
+
+// TopKPairs returns the k highest-scoring unordered pairs (u < v; the
+// diagonal is excluded, as footnote 1 of the paper prescribes), breaking
+// score ties by (U, V) so results are deterministic.
+func TopKPairs(s *power.Scores, k int) []ScoredPair {
+	n := s.N
+	if k <= 0 || n < 2 {
+		return nil
+	}
+	pairs := make([]ScoredPair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		row := s.Row(i)
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, ScoredPair{U: int32(i), V: int32(j), Score: row[j]})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].Score != pairs[b].Score {
+			return pairs[a].Score > pairs[b].Score
+		}
+		if pairs[a].U != pairs[b].U {
+			return pairs[a].U < pairs[b].U
+		}
+		return pairs[a].V < pairs[b].V
+	})
+	if k > len(pairs) {
+		k = len(pairs)
+	}
+	return pairs[:k]
+}
+
+// TopKPrecision returns the fraction of est's top-k pairs that appear in
+// truth's top-k pairs (the Figure 7 metric).
+func TopKPrecision(est, truth *power.Scores, k int) (float64, error) {
+	if est.N != truth.N {
+		return 0, fmt.Errorf("eval: size mismatch %d vs %d", est.N, truth.N)
+	}
+	estTop := TopKPairs(est, k)
+	truthTop := TopKPairs(truth, k)
+	if len(truthTop) == 0 {
+		return 1, nil
+	}
+	inTruth := make(map[uint64]struct{}, len(truthTop))
+	for _, p := range truthTop {
+		inTruth[pairKey(p.U, p.V)] = struct{}{}
+	}
+	hits := 0
+	for _, p := range estTop {
+		if _, ok := inTruth[pairKey(p.U, p.V)]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truthTop)), nil
+}
+
+func pairKey(u, v graph.NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// Collect builds an all-pairs score matrix by invoking a single-source
+// solver for every node — how the harness turns SLING/MC/Linearize into
+// the all-pairs estimates Figures 5-7 compare. The solver receives a
+// reusable output buffer and must fill scores for source u.
+func Collect(n int, solve func(u graph.NodeID, out []float64) []float64) *power.Scores {
+	s := &power.Scores{N: n, Data: make([]float64, n*n)}
+	buf := make([]float64, n)
+	for u := 0; u < n; u++ {
+		row := solve(int32(u), buf)
+		copy(s.Data[u*n:(u+1)*n], row)
+	}
+	return s
+}

@@ -1,0 +1,220 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"sling/internal/graph"
+	"sling/internal/power"
+	"sling/internal/rng"
+)
+
+func scores(n int, fill func(i, j int) float64) *power.Scores {
+	s := &power.Scores{N: n, Data: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.Data[i*n+j] = fill(i, j)
+		}
+	}
+	return s
+}
+
+func TestMaxError(t *testing.T) {
+	a := scores(3, func(i, j int) float64 { return 0.5 })
+	b := scores(3, func(i, j int) float64 {
+		if i == 2 && j == 1 {
+			return 0.8
+		}
+		return 0.5
+	})
+	got, err := MaxError(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("MaxError = %v, want 0.3", got)
+	}
+}
+
+func TestMaxErrorSizeMismatch(t *testing.T) {
+	a := scores(2, func(i, j int) float64 { return 0 })
+	b := scores(3, func(i, j int) float64 { return 0 })
+	if _, err := MaxError(a, b); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestGroupErrorsBands(t *testing.T) {
+	// Truth: s(0,1)=0.5 (S1), s(0,2)=0.05 (S2), s(1,2)=0.005 (S3).
+	truth := scores(3, func(i, j int) float64 {
+		switch {
+		case i == j:
+			return 1
+		case (i == 0 && j == 1) || (i == 1 && j == 0):
+			return 0.5
+		case (i == 0 && j == 2) || (i == 2 && j == 0):
+			return 0.05
+		default:
+			return 0.005
+		}
+	})
+	est := scores(3, func(i, j int) float64 { return truth.At(i, j) + 0.01 })
+	g, err := GroupErrors(est, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N1 != 2 || g.N2 != 2 || g.N3 != 2 {
+		t.Fatalf("band counts %+v", g)
+	}
+	for _, v := range []float64{g.S1, g.S2, g.S3} {
+		if math.Abs(v-0.01) > 1e-12 {
+			t.Fatalf("band error %v, want 0.01", v)
+		}
+	}
+}
+
+func TestGroupErrorsExcludesDiagonal(t *testing.T) {
+	truth := scores(2, func(i, j int) float64 {
+		if i == j {
+			return 1
+		}
+		return 0.5
+	})
+	est := scores(2, func(i, j int) float64 {
+		if i == j {
+			return 0 // grossly wrong diagonal must not count
+		}
+		return 0.5
+	})
+	g, err := GroupErrors(est, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.S1 != 0 || g.N1 != 2 {
+		t.Fatalf("diagonal leaked into groups: %+v", g)
+	}
+}
+
+func TestTopKPairsOrderAndExclusions(t *testing.T) {
+	truth := scores(4, func(i, j int) float64 {
+		if i == j {
+			return 1
+		}
+		return float64(i+j) / 10
+	})
+	top := TopKPairs(truth, 3)
+	if len(top) != 3 {
+		t.Fatalf("got %d pairs", len(top))
+	}
+	// Highest off-diagonal score is (2,3)=0.5, then (1,3)=0.4, then (0,3)=(1,2)=0.3.
+	if top[0].U != 2 || top[0].V != 3 {
+		t.Fatalf("top pair %+v", top[0])
+	}
+	if top[1].U != 1 || top[1].V != 3 {
+		t.Fatalf("second pair %+v", top[1])
+	}
+	for _, p := range top {
+		if p.U == p.V {
+			t.Fatal("diagonal pair in top-k")
+		}
+		if p.U > p.V {
+			t.Fatal("pair not normalized")
+		}
+	}
+}
+
+func TestTopKPairsTieBreakDeterministic(t *testing.T) {
+	truth := scores(5, func(i, j int) float64 {
+		if i == j {
+			return 1
+		}
+		return 0.5 // all tied
+	})
+	a := TopKPairs(truth, 4)
+	b := TopKPairs(truth, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tie-broken order not deterministic")
+		}
+	}
+	if a[0].U != 0 || a[0].V != 1 {
+		t.Fatalf("tie break should favor (0,1), got %+v", a[0])
+	}
+}
+
+func TestTopKPrecisionPerfect(t *testing.T) {
+	truth := scores(6, func(i, j int) float64 {
+		if i == j {
+			return 1
+		}
+		return 1 / float64(1+i+j)
+	})
+	p, err := TopKPrecision(truth, truth, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("self precision %v", p)
+	}
+}
+
+func TestTopKPrecisionDegraded(t *testing.T) {
+	truth := scores(6, func(i, j int) float64 {
+		if i == j {
+			return 1
+		}
+		return float64(i+j) / 100
+	})
+	// Estimate inverts the ordering: precision must be low.
+	est := scores(6, func(i, j int) float64 {
+		if i == j {
+			return 1
+		}
+		return 1 - float64(i+j)/100
+	})
+	p, err := TopKPrecision(est, truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.5 {
+		t.Fatalf("inverted estimate precision %v suspiciously high", p)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	r := rng.New(5)
+	b := graph.NewBuilder(20)
+	for i := 0; i < 80; i++ {
+		b.AddEdge(int32(r.Intn(20)), int32(r.Intn(20)))
+	}
+	g := b.Build()
+	truth, err := GroundTruth(g, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collected := Collect(20, func(u graph.NodeID, out []float64) []float64 {
+		copy(out, truth.Row(int(u)))
+		return out
+	})
+	worst, err := MaxError(collected, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst != 0 {
+		t.Fatalf("Collect altered scores: max err %v", worst)
+	}
+}
+
+func TestGroundTruthMatchesFixedPoint(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 1)
+	g := b.Build()
+	truth, err := GroundTruth(g, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(truth.At(0, 1)-0.6) > 1e-9 {
+		t.Fatalf("ground truth s(0,1)=%v, want 0.6", truth.At(0, 1))
+	}
+}

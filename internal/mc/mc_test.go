@@ -1,0 +1,325 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"sling/internal/graph"
+	"sling/internal/power"
+	"sling/internal/rng"
+)
+
+func randomGraph(n, m int, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func pairGraph() *graph.Graph {
+	b := graph.NewBuilder(3)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 1)
+	return b.Build()
+}
+
+func TestDeriveTruncation(t *testing.T) {
+	// c=0.6, eps=0.025: smallest t with 0.6^(t+1) <= 0.0125 is t=8
+	// (0.6^9 = 0.0101).
+	if got := DeriveTruncation(0.025, 0.6); got != 8 {
+		t.Fatalf("DeriveTruncation = %d, want 8", got)
+	}
+	if got := DeriveTruncation(0.9, 0.6); got != 1 {
+		t.Fatalf("floor not applied: %d", got)
+	}
+}
+
+func TestDeriveNumWalksGrowsWithN(t *testing.T) {
+	a := DeriveNumWalks(0.025, 0.01, 1000)
+	b := DeriveNumWalks(0.025, 0.01, 1000000)
+	if a <= 0 || b <= a {
+		t.Fatalf("walk counts %d, %d not increasing in n", a, b)
+	}
+}
+
+func TestBuildRejectsHugeIndex(t *testing.T) {
+	g := randomGraph(200000, 200000, 1)
+	_, err := Build(g, &Options{}) // theory-derived counts explode
+	if err == nil {
+		t.Fatal("oversized index accepted")
+	}
+}
+
+func TestBuildRejectsBadDecay(t *testing.T) {
+	if _, err := Build(pairGraph(), &Options{C: 1.5, NumWalks: 10, Truncation: 5}); err == nil {
+		t.Fatal("bad decay accepted")
+	}
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	g := randomGraph(50, 250, 2)
+	x, err := Build(g, &Options{NumWalks: 50, Truncation: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.NodeID(0); v < 50; v++ {
+		if got := x.SimRank(v, v); got != 1 {
+			t.Fatalf("s(%d,%d) = %v", v, v, got)
+		}
+	}
+}
+
+func TestSharedParentEstimate(t *testing.T) {
+	// s(0,1) = c with both nodes sharing the single in-neighbor 2.
+	const c = 0.6
+	x, err := Build(pairGraph(), &Options{C: c, NumWalks: 100000, Truncation: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := x.SimRank(0, 1)
+	if math.Abs(got-c) > 0.01 {
+		t.Fatalf("estimate %v, want about %v", got, c)
+	}
+}
+
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	g := randomGraph(60, 300, 4)
+	o1 := &Options{NumWalks: 30, Truncation: 6, Seed: 11, Workers: 1}
+	o4 := &Options{NumWalks: 30, Truncation: 6, Seed: 11, Workers: 4}
+	x1, err := Build(g, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x4, err := Build(g, o4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1.steps {
+		if x1.steps[i] != x4.steps[i] {
+			t.Fatalf("worker count changed walk content at %d", i)
+		}
+	}
+}
+
+func TestMatchesPowerMethod(t *testing.T) {
+	g := randomGraph(40, 180, 5)
+	const c, eps = 0.6, 0.03
+	truth, err := power.AllPairs(g, c, power.IterationsFor(1e-8, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Build(g, &Options{C: c, NumWalks: 30000, Truncation: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, p := range [][2]int{{0, 1}, {3, 17}, {20, 39}, {7, 7}, {12, 25}} {
+		got := x.SimRank(graph.NodeID(p[0]), graph.NodeID(p[1]))
+		want := truth.At(p[0], p[1])
+		if d := math.Abs(got - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > eps {
+		t.Fatalf("worst single-pair error %v > %v", worst, eps)
+	}
+}
+
+func TestSingleSourceMatchesSinglePair(t *testing.T) {
+	g := randomGraph(30, 150, 6)
+	x, err := Build(g, &Options{NumWalks: 200, Truncation: 8, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []graph.NodeID{0, 7, 29} {
+		scores := x.SingleSource(u, nil)
+		for v := graph.NodeID(0); v < 30; v++ {
+			want := x.SimRank(u, v)
+			if math.Abs(scores[v]-want) > 1e-12 {
+				t.Fatalf("single-source s(%d,%d)=%v, single-pair %v", u, v, scores[v], want)
+			}
+		}
+	}
+}
+
+func TestSingleSourceReusesBuffer(t *testing.T) {
+	g := randomGraph(20, 80, 8)
+	x, err := Build(g, &Options{NumWalks: 20, Truncation: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 20)
+	out := x.SingleSource(3, buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("buffer with sufficient capacity was not reused")
+	}
+}
+
+func TestTruncationLimitsWalks(t *testing.T) {
+	g := randomGraph(30, 200, 10)
+	x, err := Build(g, &Options{NumWalks: 10, Truncation: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(x.walkOf(0, 0)); got != 4 {
+		t.Fatalf("stored walk length %d, want 4", got)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	g := randomGraph(10, 40, 12)
+	x, err := Build(g, &Options{NumWalks: 7, Truncation: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(10 * 7 * 5 * 4)
+	if x.Bytes() != want {
+		t.Fatalf("Bytes() = %d, want %d", x.Bytes(), want)
+	}
+}
+
+func TestDanglingWalksPadded(t *testing.T) {
+	// Node 1 has no in-neighbors: every walk from it is just [1, -1, ...].
+	b := graph.NewBuilder(2)
+	b.AddEdge(1, 0)
+	g := b.Build()
+	x, err := Build(g, &Options{NumWalks: 5, Truncation: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := x.walkOf(1, 0)
+	if w[0] != 1 || w[1] != -1 || w[2] != -1 || w[3] != -1 {
+		t.Fatalf("dangling walk = %v", w)
+	}
+}
+
+func BenchmarkSinglePair(b *testing.B) {
+	g := randomGraph(1000, 8000, 1)
+	x, err := Build(g, &Options{NumWalks: 100, Truncation: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.SimRank(graph.NodeID(i%1000), graph.NodeID((i*13)%1000))
+	}
+}
+
+func BenchmarkSingleSource(b *testing.B) {
+	g := randomGraph(1000, 8000, 1)
+	x, err := Build(g, &Options{NumWalks: 100, Truncation: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]float64, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.SingleSource(graph.NodeID(i%1000), out)
+	}
+}
+
+func TestAllPairsMatchesSimRank(t *testing.T) {
+	g := randomGraph(40, 200, 20)
+	x, err := Build(g, &Options{NumWalks: 120, Truncation: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := x.AllPairs()
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			want := x.SimRank(graph.NodeID(i), graph.NodeID(j))
+			if math.Abs(all.At(i, j)-want) > 1e-12 {
+				t.Fatalf("AllPairs(%d,%d)=%v, SimRank %v", i, j, all.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestAllPairsSymmetric(t *testing.T) {
+	g := randomGraph(30, 150, 22)
+	x, err := Build(g, &Options{NumWalks: 60, Truncation: 6, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := x.AllPairs()
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if all.At(i, j) != all.At(j, i) {
+				t.Fatalf("asymmetric AllPairs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCoupledWalksCoalesce(t *testing.T) {
+	g := randomGraph(60, 300, 24)
+	x, err := Build(g, &Options{NumWalks: 40, Truncation: 10, Seed: 25, Coupled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under coupling, once two walks share a position they must agree on
+	// every later step.
+	for wi := 0; wi < 40; wi++ {
+		for u := 0; u < 60; u++ {
+			for v := u + 1; v < 60; v++ {
+				wu, wv := x.walkOf(graph.NodeID(u), wi), x.walkOf(graph.NodeID(v), wi)
+				met := false
+				for l := 0; l <= 10; l++ {
+					if wu[l] < 0 || wv[l] < 0 {
+						break
+					}
+					if met && wu[l] != wv[l] {
+						t.Fatalf("coupled walks diverged after meeting (wi=%d u=%d v=%d l=%d)", wi, u, v, l)
+					}
+					if wu[l] == wv[l] {
+						met = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCoupledEstimatesUnbiased(t *testing.T) {
+	// Coupling must not bias the estimator: compare against the power
+	// method on a small graph with many walks.
+	g := randomGraph(30, 140, 26)
+	const c = 0.6
+	truth, err := power.AllPairs(g, c, power.IterationsFor(1e-8, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Build(g, &Options{C: c, NumWalks: 40000, Truncation: 12, Seed: 27, Coupled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, p := range [][2]int{{0, 1}, {5, 22}, {13, 29}, {7, 8}} {
+		got := x.SimRank(graph.NodeID(p[0]), graph.NodeID(p[1]))
+		if d := math.Abs(got - truth.At(p[0], p[1])); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.02 {
+		t.Fatalf("coupled estimator biased: worst error %v", worst)
+	}
+}
+
+func TestCoupledDeterministic(t *testing.T) {
+	g := randomGraph(40, 200, 28)
+	a, err := Build(g, &Options{NumWalks: 20, Truncation: 6, Seed: 29, Coupled: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, &Options{NumWalks: 20, Truncation: 6, Seed: 29, Coupled: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.steps {
+		if a.steps[i] != b.steps[i] {
+			t.Fatalf("coupled build not deterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package power implements the power method for all-pairs SimRank
+// (Jeh & Widom), the oracle the paper uses for ground truth in its accuracy
+// experiments (Figures 5-7) and the oldest baseline in Table 1.
+//
+// One iteration applies S ← (c·Pᵀ·S·P) ∨ I, realized as two sparse-dense
+// products in O(n·m) time, rather than the naive O(m²) neighbor-pair sum.
+// After t ≥ log_c(ε(1−c)) − 1 iterations every score has additive error at
+// most ε (Lizorkin et al., Lemma 1 of the paper).
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"sling/internal/graph"
+)
+
+// Scores is a dense symmetric n×n SimRank matrix in row-major order.
+type Scores struct {
+	N    int
+	Data []float64 // len N*N, Data[i*N+j] = s(v_i, v_j)
+}
+
+// At returns s(v_i, v_j).
+func (s *Scores) At(i, j int) float64 { return s.Data[i*s.N+j] }
+
+// Row returns the i-th row (scores from v_i to every node).
+// The slice aliases internal storage.
+func (s *Scores) Row(i int) []float64 { return s.Data[i*s.N : (i+1)*s.N] }
+
+// MaxMatrixBytes caps the memory a Scores allocation may take; AllPairs
+// returns an error beyond it. Two work matrices are needed, so the real
+// peak is about three times this value.
+const MaxMatrixBytes = 1 << 31 // 2 GiB per matrix
+
+// IterationsFor returns the smallest iteration count that guarantees eps
+// additive error under decay factor c (Lemma 1: t ≥ log_c(ε(1−c)) − 1).
+func IterationsFor(eps, c float64) int {
+	if eps <= 0 || eps >= 1 || c <= 0 || c >= 1 {
+		panic(fmt.Sprintf("power: bad parameters eps=%v c=%v", eps, c))
+	}
+	t := math.Log(eps*(1-c))/math.Log(c) - 1
+	it := int(math.Ceil(t))
+	if it < 1 {
+		it = 1
+	}
+	return it
+}
+
+// AllPairs runs `iters` power iterations and returns the resulting scores.
+// It errors out rather than attempting an allocation beyond MaxMatrixBytes.
+func AllPairs(g *graph.Graph, c float64, iters int) (*Scores, error) {
+	if c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("power: decay factor %v out of (0,1)", c)
+	}
+	if iters < 0 {
+		return nil, fmt.Errorf("power: negative iteration count %d", iters)
+	}
+	n := g.NumNodes()
+	bytes := int64(n) * int64(n) * 8
+	if n > 0 && (bytes/int64(n)/8 != int64(n) || bytes > MaxMatrixBytes) {
+		return nil, fmt.Errorf("power: n=%d needs %d bytes per matrix, over the %d cap", n, bytes, int64(MaxMatrixBytes))
+	}
+	s := &Scores{N: n, Data: make([]float64, n*n)}
+	for i := 0; i < n; i++ {
+		s.Data[i*n+i] = 1
+	}
+	if n == 0 || iters == 0 {
+		return s, nil
+	}
+	t1 := make([]float64, n*n)   // S·P
+	next := make([]float64, n*n) // c·Pᵀ·(S·P) ∨ I
+	for it := 0; it < iters; it++ {
+		step(g, c, s.Data, t1, next, n)
+		s.Data, next = next, s.Data
+	}
+	return s, nil
+}
+
+// step computes next = (c·Pᵀ·cur·P) ∨ I using t1 as scratch for cur·P.
+func step(g *graph.Graph, c float64, cur, t1, next []float64, n int) {
+	// t1 = cur · P:  t1(i,j) = (1/|I(j)|) Σ_{k∈I(j)} cur(i,k).
+	for j := 0; j < n; j++ {
+		ins := g.InNeighbors(graph.NodeID(j))
+		if len(ins) == 0 {
+			for i := 0; i < n; i++ {
+				t1[i*n+j] = 0
+			}
+			continue
+		}
+		inv := 1 / float64(len(ins))
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			row := cur[i*n:]
+			for _, k := range ins {
+				sum += row[k]
+			}
+			t1[i*n+j] = sum * inv
+		}
+	}
+	// next = c · Pᵀ · t1: next(i,j) = c/|I(i)| Σ_{k∈I(i)} t1(k,j); then ∨ I.
+	for i := 0; i < n; i++ {
+		out := next[i*n : (i+1)*n]
+		ins := g.InNeighbors(graph.NodeID(i))
+		if len(ins) == 0 {
+			for j := range out {
+				out[j] = 0
+			}
+			out[i] = 1
+			continue
+		}
+		scale := c / float64(len(ins))
+		for j := range out {
+			out[j] = 0
+		}
+		for _, k := range ins {
+			krow := t1[int(k)*n : (int(k)+1)*n]
+			for j, v := range krow {
+				out[j] += v
+			}
+		}
+		for j := range out {
+			out[j] *= scale
+		}
+		out[i] = 1
+	}
+}
+
+// SimRank runs the power method to eps accuracy and returns one score.
+// It is a convenience for tests; for repeated queries use AllPairs.
+func SimRank(g *graph.Graph, c float64, eps float64, u, v graph.NodeID) (float64, error) {
+	s, err := AllPairs(g, c, IterationsFor(eps, c))
+	if err != nil {
+		return 0, err
+	}
+	return s.At(int(u), int(v)), nil
+}

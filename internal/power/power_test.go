@@ -1,0 +1,259 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"sling/internal/graph"
+	"sling/internal/rng"
+	"sling/internal/walk"
+)
+
+func pair() *graph.Graph {
+	// I(0) = I(1) = {2}: s(0,1) = c exactly.
+	b := graph.NewBuilder(3)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 1)
+	return b.Build()
+}
+
+func TestDiagonalIsOne(t *testing.T) {
+	g := pair()
+	s, err := AllPairs(g, 0.6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if s.At(i, i) != 1 {
+			t.Fatalf("s(%d,%d) = %v", i, i, s.At(i, i))
+		}
+	}
+}
+
+func TestSharedParentScore(t *testing.T) {
+	const c = 0.6
+	s, err := AllPairs(pair(), c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.At(0, 1)-c) > 1e-9 {
+		t.Fatalf("s(0,1) = %v, want %v", s.At(0, 1), c)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	g := randomGraph(40, 200, 3)
+	s, err := AllPairs(g, 0.6, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			if math.Abs(s.At(i, j)-s.At(j, i)) > 1e-12 {
+				t.Fatalf("asymmetric: s(%d,%d)=%v s(%d,%d)=%v", i, j, s.At(i, j), j, i, s.At(j, i))
+			}
+		}
+	}
+}
+
+func TestScoresInUnitInterval(t *testing.T) {
+	g := randomGraph(40, 200, 5)
+	s, err := AllPairs(g, 0.8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Data {
+		if v < 0 || v > 1+1e-12 {
+			t.Fatalf("score %v out of [0,1]", v)
+		}
+	}
+}
+
+// SimRank fixed point: s(i,j) = c/(|I(i)||I(j)|) Σ s(a,b) for i != j.
+func TestFixedPointEquation(t *testing.T) {
+	g := randomGraph(25, 120, 7)
+	const c = 0.6
+	s, err := AllPairs(g, c, IterationsFor(1e-10, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			ii := g.InNeighbors(graph.NodeID(i))
+			jj := g.InNeighbors(graph.NodeID(j))
+			if len(ii) == 0 || len(jj) == 0 {
+				if s.At(i, j) != 0 {
+					t.Fatalf("s(%d,%d)=%v but a side has no in-neighbors", i, j, s.At(i, j))
+				}
+				continue
+			}
+			sum := 0.0
+			for _, a := range ii {
+				for _, b := range jj {
+					sum += s.At(int(a), int(b))
+				}
+			}
+			want := c * sum / float64(len(ii)*len(jj))
+			if math.Abs(s.At(i, j)-want) > 1e-6 {
+				t.Fatalf("fixed point violated at (%d,%d): %v vs %v", i, j, s.At(i, j), want)
+			}
+		}
+	}
+}
+
+// Lemma 3 cross-check: power-method scores match √c-walk meeting
+// probabilities estimated by Monte Carlo.
+func TestAgreesWithWalkOracle(t *testing.T) {
+	g := randomGraph(15, 60, 11)
+	const c = 0.6
+	s, err := AllPairs(g, c, IterationsFor(1e-8, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := walk.New(g, c, rng.New(101))
+	checks := [][2]graph.NodeID{{0, 1}, {2, 7}, {3, 3}, {5, 9}, {10, 14}}
+	for _, p := range checks {
+		got := w.MeetProbability(p[0], p[1], 200000)
+		want := s.At(int(p[0]), int(p[1]))
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("pair %v: walk estimate %v vs power %v", p, got, want)
+		}
+	}
+}
+
+func TestIterationsFor(t *testing.T) {
+	// c=0.6, eps=0.025: t >= log_0.6(0.01) - 1 = 9.01 - 1 = 8.01 -> 9.
+	if got := IterationsFor(0.025, 0.6); got != 9 {
+		t.Fatalf("IterationsFor(0.025, 0.6) = %d, want 9", got)
+	}
+	if got := IterationsFor(0.9, 0.1); got < 1 {
+		t.Fatalf("IterationsFor returned %d < 1", got)
+	}
+}
+
+func TestIterationsForPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	IterationsFor(0, 0.6)
+}
+
+func TestConvergenceMonotone(t *testing.T) {
+	// Error vs a long run must shrink as iterations grow.
+	g := randomGraph(30, 150, 13)
+	const c = 0.6
+	ref, err := AllPairs(g, c, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevErr := math.Inf(1)
+	for _, it := range []int{2, 5, 10, 20} {
+		s, err := AllPairs(g, c, it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxErr := 0.0
+		for i, v := range s.Data {
+			if d := math.Abs(v - ref.Data[i]); d > maxErr {
+				maxErr = d
+			}
+		}
+		if maxErr > prevErr+1e-12 {
+			t.Fatalf("error grew from %v to %v at %d iterations", prevErr, maxErr, it)
+		}
+		prevErr = maxErr
+	}
+	if prevErr > 1e-4 {
+		t.Fatalf("error after 20 iterations still %v", prevErr)
+	}
+}
+
+func TestLemmaOneErrorBound(t *testing.T) {
+	g := randomGraph(30, 150, 17)
+	const c, eps = 0.6, 0.01
+	ref, err := AllPairs(g, c, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := AllPairs(g, c, IterationsFor(eps, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Data {
+		if d := math.Abs(s.Data[i] - ref.Data[i]); d > eps {
+			t.Fatalf("error %v exceeds eps %v", d, eps)
+		}
+	}
+}
+
+func TestZeroIterations(t *testing.T) {
+	s, err := AllPairs(pair(), 0.6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0, 1) != 0 || s.At(1, 1) != 1 {
+		t.Fatal("zero iterations must return the identity")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	s, err := AllPairs(g, 0.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 0 {
+		t.Fatal("non-empty result for empty graph")
+	}
+}
+
+func TestRejectsBadDecay(t *testing.T) {
+	if _, err := AllPairs(pair(), 1.0, 5); err == nil {
+		t.Fatal("c=1 accepted")
+	}
+	if _, err := AllPairs(pair(), 0, 5); err == nil {
+		t.Fatal("c=0 accepted")
+	}
+}
+
+func TestRejectsHugeGraph(t *testing.T) {
+	g := graph.NewBuilder(1 << 20).Build()
+	if _, err := AllPairs(g, 0.6, 1); err == nil {
+		t.Fatal("over-cap allocation accepted")
+	}
+}
+
+func TestSimRankConvenience(t *testing.T) {
+	got, err := SimRank(pair(), 0.6, 1e-6, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.6) > 1e-5 {
+		t.Fatalf("SimRank = %v", got)
+	}
+}
+
+func randomGraph(n, m int, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func BenchmarkPowerIteration(b *testing.B) {
+	g := randomGraph(500, 3000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AllPairs(g, 0.6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

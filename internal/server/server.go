@@ -1,0 +1,190 @@
+// Package server exposes a SLING index over HTTP with a small JSON API,
+// the deployment shape a similarity service would actually run: build (or
+// load) the index once, then serve single-pair, single-source and top-k
+// queries concurrently.
+//
+// Endpoints:
+//
+//	GET /simrank?u=U&v=V          -> {"u":U,"v":V,"score":S}
+//	GET /source?u=U[&limit=L]     -> {"u":U,"scores":[{"node":V,"score":S},...]}
+//	GET /topk?u=U&k=K             -> {"u":U,"results":[{"node":V,"score":S},...]}
+//	GET /stats                    -> index and graph statistics
+//	GET /healthz                  -> 200 ok
+//
+// Node parameters use the graph's original labels when the server is
+// constructed with a label mapping, dense IDs otherwise.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"sling"
+)
+
+// Server routes HTTP queries to a SLING index. It is safe for concurrent
+// use; the underlying index pools query scratch internally.
+type Server struct {
+	ix     *sling.Index
+	labels []int64                // dense ID -> original label; nil = identity
+	byLbl  map[int64]sling.NodeID // original label -> dense ID
+	mux    *http.ServeMux
+}
+
+// New creates a Server over a built index. labels may be nil, in which
+// case node parameters are dense IDs in [0, NumNodes).
+func New(ix *sling.Index, labels []int64) *Server {
+	s := &Server{ix: ix, labels: labels}
+	if labels != nil {
+		s.byLbl = make(map[int64]sling.NodeID, len(labels))
+		for id, l := range labels {
+			s.byLbl[l] = sling.NodeID(id)
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/simrank", s.handleSimRank)
+	s.mux.HandleFunc("/source", s.handleSource)
+	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// label converts a dense ID back to the external label.
+func (s *Server) label(id sling.NodeID) int64 {
+	if s.labels == nil {
+		return int64(id)
+	}
+	return s.labels[id]
+}
+
+// node parses a node parameter into a dense ID.
+func (s *Server) node(q string) (sling.NodeID, error) {
+	raw, err := strconv.ParseInt(q, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad node %q", q)
+	}
+	if s.byLbl != nil {
+		id, ok := s.byLbl[raw]
+		if !ok {
+			return 0, fmt.Errorf("node %d not in graph", raw)
+		}
+		return id, nil
+	}
+	if raw < 0 || raw >= int64(s.ix.Graph().NumNodes()) {
+		return 0, fmt.Errorf("node %d out of range [0,%d)", raw, s.ix.Graph().NumNodes())
+	}
+	return sling.NodeID(raw), nil
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for an HTTP error; the connection is likely gone.
+		return
+	}
+}
+
+// ScoredNode is one (node, score) result in JSON responses.
+type ScoredNode struct {
+	Node  int64   `json:"node"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) handleSimRank(w http.ResponseWriter, r *http.Request) {
+	u, err := s.node(r.URL.Query().Get("u"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v, err := s.node(r.URL.Query().Get("v"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"u":     s.label(u),
+		"v":     s.label(v),
+		"score": s.ix.SimRank(u, v),
+	})
+}
+
+func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
+	u, err := s.node(r.URL.Query().Get("u"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	limit := s.ix.Graph().NumNodes()
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		l, err := strconv.Atoi(raw)
+		if err != nil || l < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		if l < limit {
+			limit = l
+		}
+	}
+	scores := s.ix.SingleSource(u, nil)
+	out := make([]ScoredNode, 0, limit)
+	for v, sc := range scores {
+		if len(out) == limit {
+			break
+		}
+		out = append(out, ScoredNode{Node: s.label(sling.NodeID(v)), Score: sc})
+	}
+	writeJSON(w, map[string]interface{}{"u": s.label(u), "scores": out})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	u, err := s.node(r.URL.Query().Get("u"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 1 {
+			httpError(w, http.StatusBadRequest, "bad k")
+			return
+		}
+	}
+	top := s.ix.TopK(u, k)
+	out := make([]ScoredNode, len(top))
+	for i, t := range top {
+		out[i] = ScoredNode{Node: s.label(t.Node), Score: t.Score}
+	}
+	writeJSON(w, map[string]interface{}{"u": s.label(u), "results": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.ix.Stats()
+	g := s.ix.Graph()
+	writeJSON(w, map[string]interface{}{
+		"nodes":        g.NumNodes(),
+		"edges":        g.NumEdges(),
+		"entries":      st.Entries,
+		"avg_entries":  st.AvgEntries,
+		"max_entries":  st.MaxEntries,
+		"index_bytes":  st.Bytes,
+		"graph_bytes":  g.Bytes(),
+		"error_bound":  s.ix.ErrorBound(),
+		"decay_factor": s.ix.C(),
+	})
+}

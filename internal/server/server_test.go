@@ -1,0 +1,204 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sling"
+	"sling/internal/rng"
+)
+
+func testServer(t *testing.T, labels []int64) (*Server, *sling.Index) {
+	t.Helper()
+	r := rng.New(5)
+	n := 40
+	b := sling.NewGraphBuilder(n)
+	for i := 0; i < 200; i++ {
+		b.AddEdge(sling.NodeID(r.Intn(n)), sling.NodeID(r.Intn(n)))
+	}
+	ix, err := sling.Build(b.Build(), &sling.Options{Eps: 0.08, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ix, labels), ix
+}
+
+func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil && rec.Code == http.StatusOK {
+		t.Fatalf("bad JSON from %s: %v (%q)", path, err, rec.Body.String())
+	}
+	return rec, body
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+}
+
+func TestSimRankEndpoint(t *testing.T) {
+	s, ix := testServer(t, nil)
+	rec, body := get(t, s, "/simrank?u=3&v=7")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	want := ix.SimRank(3, 7)
+	if got := body["score"].(float64); got != want {
+		t.Fatalf("score %v, want %v", got, want)
+	}
+	if body["u"].(float64) != 3 || body["v"].(float64) != 7 {
+		t.Fatalf("echoed nodes wrong: %v", body)
+	}
+}
+
+func TestSimRankBadParams(t *testing.T) {
+	s, _ := testServer(t, nil)
+	for _, path := range []string{
+		"/simrank",           // missing both
+		"/simrank?u=3",       // missing v
+		"/simrank?u=abc&v=1", // junk
+		"/simrank?u=999&v=1", // out of range
+		"/simrank?u=-1&v=1",  // negative
+	} {
+		rec, body := get(t, s, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", path, rec.Code)
+		}
+		if body["error"] == "" {
+			t.Fatalf("%s: no error message", path)
+		}
+	}
+}
+
+func TestSourceEndpoint(t *testing.T) {
+	s, ix := testServer(t, nil)
+	rec, body := get(t, s, "/source?u=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	scores := body["scores"].([]interface{})
+	if len(scores) != ix.Graph().NumNodes() {
+		t.Fatalf("got %d scores", len(scores))
+	}
+	want := ix.SingleSource(5, nil)
+	first := scores[0].(map[string]interface{})
+	if first["score"].(float64) != want[0] {
+		t.Fatalf("score[0] mismatch")
+	}
+}
+
+func TestSourceLimit(t *testing.T) {
+	s, _ := testServer(t, nil)
+	_, body := get(t, s, "/source?u=5&limit=3")
+	if got := len(body["scores"].([]interface{})); got != 3 {
+		t.Fatalf("limit ignored: %d scores", got)
+	}
+	rec, _ := get(t, s, "/source?u=5&limit=-2")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatal("negative limit accepted")
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	s, ix := testServer(t, nil)
+	rec, body := get(t, s, "/topk?u=2&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	results := body["results"].([]interface{})
+	if len(results) > 5 {
+		t.Fatalf("k ignored: %d results", len(results))
+	}
+	top := ix.TopK(2, 5)
+	if len(results) != len(top) {
+		t.Fatalf("result count %d vs %d", len(results), len(top))
+	}
+	for i, raw := range results {
+		r := raw.(map[string]interface{})
+		if int64(r["node"].(float64)) != int64(top[i].Node) {
+			t.Fatalf("result %d node mismatch", i)
+		}
+	}
+	if rec, _ := get(t, s, "/topk?u=2&k=0"); rec.Code != http.StatusBadRequest {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, ix := testServer(t, nil)
+	rec, body := get(t, s, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if int(body["nodes"].(float64)) != ix.Graph().NumNodes() {
+		t.Fatalf("stats nodes wrong: %v", body["nodes"])
+	}
+	if body["error_bound"].(float64) != ix.ErrorBound() {
+		t.Fatal("stats error bound wrong")
+	}
+}
+
+func TestLabelMapping(t *testing.T) {
+	labels := make([]int64, 40)
+	for i := range labels {
+		labels[i] = int64(1000 + i*10) // external labels 1000, 1010, ...
+	}
+	s, ix := testServer(t, labels)
+	rec, body := get(t, s, "/simrank?u=1030&v=1070")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got, want := body["score"].(float64), ix.SimRank(3, 7); got != want {
+		t.Fatalf("label-mapped score %v, want %v", got, want)
+	}
+	if body["u"].(float64) != 1030 {
+		t.Fatal("response not in external labels")
+	}
+	// Unknown label must 400.
+	if rec, _ := get(t, s, "/simrank?u=1035&v=1070"); rec.Code != http.StatusBadRequest {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s, ix := testServer(t, nil)
+	want := ix.SimRank(1, 2)
+	var wg sync.WaitGroup
+	fail := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				req := httptest.NewRequest(http.MethodGet, "/simrank?u=1&v=2", nil)
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				var body map[string]interface{}
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					fail <- "bad json"
+					return
+				}
+				if body["score"].(float64) != want {
+					fail <- "score drift under concurrency"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	if msg, bad := <-fail; bad {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,294 @@
+// Package sling is a Go implementation of SLING, the near-optimal SimRank
+// index structure of Tian & Xiao (SIGMOD 2016).
+//
+// SimRank (Jeh & Widom) measures the similarity of two graph nodes by the
+// recursive principle that nodes are similar when their in-neighbors are
+// similar. SLING preprocesses a directed graph into an O(n/ε) index that
+// then answers
+//
+//   - single-pair queries s(u, v) in O(1/ε) time, and
+//   - single-source queries s(u, ·) in O(m·log²(1/ε)) time,
+//
+// each with a guaranteed additive error of at most ε (with probability
+// 1−δ, over the randomness of preprocessing).
+//
+// # Quick start
+//
+//	b := sling.NewGraphBuilder(4)
+//	b.AddEdge(0, 2)
+//	b.AddEdge(1, 2)
+//	b.AddEdge(2, 3)
+//	g := b.Build()
+//
+//	ix, err := sling.Build(g, nil) // paper defaults: c=0.6, ε=0.025
+//	if err != nil { ... }
+//	score := ix.SimRank(0, 1)
+//
+// The index is safe for concurrent queries. See the examples directory
+// for larger scenarios, and DESIGN.md / EXPERIMENTS.md for how this
+// implementation reproduces the paper's evaluation.
+package sling
+
+import (
+	"io"
+	"sort"
+	"sync"
+
+	"sling/internal/core"
+	"sling/internal/graph"
+	"sling/internal/power"
+)
+
+// Graph is a directed graph in dual-CSR form. Construct one with
+// NewGraphBuilder, FromEdges, or the edge-list loaders.
+type Graph = graph.Graph
+
+// NodeID identifies a node as a dense index in [0, NumNodes).
+type NodeID = graph.NodeID
+
+// Edge is a directed edge From -> To.
+type Edge = graph.Edge
+
+// GraphBuilder accumulates edges and produces an immutable Graph.
+type GraphBuilder = graph.Builder
+
+// Options configures Build. The zero value reproduces the paper's
+// experimental configuration (c = 0.6, ε = 0.025, δ_d = 1/n²).
+type Options = core.Options
+
+// BuildStats reports preprocessing work (walk pairs drawn, local-update
+// pushes, entries kept and dropped).
+type BuildStats = core.BuildStats
+
+// IndexStats summarizes a built index (entry counts, memory footprint).
+type IndexStats = core.IndexStats
+
+// NewGraphBuilder returns a builder for a graph with n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph with n nodes from an edge list, removing
+// duplicate edges.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// LoadEdgeList parses a whitespace-separated "src dst" edge list (SNAP
+// format; '#' and '%' comments). Node labels are remapped to dense IDs in
+// order of first appearance; the returned slice maps dense IDs back to
+// the original labels. Set undirected to insert both directions per line.
+func LoadEdgeList(r io.Reader, undirected bool) (*Graph, []int64, error) {
+	return graph.ReadEdgeList(r, &graph.LoadOptions{Undirected: undirected})
+}
+
+// LoadEdgeListFile is LoadEdgeList over a file path.
+func LoadEdgeListFile(path string, undirected bool) (*Graph, []int64, error) {
+	return graph.LoadEdgeListFile(path, &graph.LoadOptions{Undirected: undirected})
+}
+
+// Index answers SimRank queries over a fixed graph with the ε additive
+// error guarantee of the paper's Theorem 1. It is immutable and safe for
+// concurrent use; per-goroutine query scratch is pooled internally.
+type Index struct {
+	x       *core.Index
+	scratch sync.Pool // *core.Scratch
+	srcPool sync.Pool // *core.SourceScratch
+}
+
+func wrap(x *core.Index) *Index {
+	ix := &Index{x: x}
+	ix.scratch.New = func() interface{} { return x.NewScratch() }
+	ix.srcPool.New = func() interface{} { return x.NewSourceScratch() }
+	return ix
+}
+
+// Build constructs a SLING index over g. A nil Options uses the paper's
+// defaults. Building costs O(m/ε + n·log(n/δ)/ε²) time and the index
+// takes O(n/ε) space.
+func Build(g *Graph, o *Options) (*Index, error) {
+	x, err := core.Build(g, o)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(x), nil
+}
+
+// BuildWithStats is Build plus preprocessing statistics.
+func BuildWithStats(g *Graph, o *Options) (*Index, BuildStats, error) {
+	x, st, err := core.BuildWithStats(g, o)
+	if err != nil {
+		return nil, st, err
+	}
+	return wrap(x), st, nil
+}
+
+// BuildOutOfCore constructs the same index while keeping the hitting-
+// probability entries on disk (in spillDir) until final assembly, holding
+// at most memBudget bytes of them in memory (Section 5.4 of the paper).
+func BuildOutOfCore(g *Graph, o *Options, spillDir string, memBudget int64) (*Index, error) {
+	x, err := core.BuildOutOfCore(g, o, core.OutOfCoreOptions{Dir: spillDir, MemBudget: memBudget})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(x), nil
+}
+
+// SimRank returns s̃(u, v) with at most ErrorBound additive error.
+func (ix *Index) SimRank(u, v NodeID) float64 {
+	s := ix.scratch.Get().(*core.Scratch)
+	score := ix.x.SimRank(u, v, s)
+	ix.scratch.Put(s)
+	return score
+}
+
+// SingleSource returns s̃(u, v) for every node v (Algorithm 6 of the
+// paper), writing into out when it has capacity NumNodes.
+func (ix *Index) SingleSource(u NodeID, out []float64) []float64 {
+	s := ix.srcPool.Get().(*core.SourceScratch)
+	res := ix.x.SingleSource(u, s, out)
+	ix.srcPool.Put(s)
+	return res
+}
+
+// Scored is a node with a SimRank score, as returned by TopK.
+type Scored struct {
+	Node  NodeID
+	Score float64
+}
+
+// TopK returns the k nodes most similar to u (excluding u itself) in
+// descending score order, breaking ties by node ID.
+func (ix *Index) TopK(u NodeID, k int) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	scores := ix.SingleSource(u, nil)
+	out := make([]Scored, 0, len(scores))
+	for v, sc := range scores {
+		if NodeID(v) == u || sc <= 0 {
+			continue
+		}
+		out = append(out, Scored{Node: NodeID(v), Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+// Graph returns the graph the index was built over.
+func (ix *Index) Graph() *Graph { return ix.x.Graph() }
+
+// ErrorBound returns the worst-case additive error guaranteed per score
+// (Theorem 1 of the paper, for the resolved parameters).
+func (ix *Index) ErrorBound() float64 { return ix.x.ErrorBound() }
+
+// C returns the decay factor the index was built with.
+func (ix *Index) C() float64 { return ix.x.C() }
+
+// Bytes returns the in-memory footprint of the index (excluding the
+// graph).
+func (ix *Index) Bytes() int64 { return ix.x.Bytes() }
+
+// Stats summarizes the index.
+func (ix *Index) Stats() IndexStats { return ix.x.Stats() }
+
+// WriteTo serializes the index (io.WriterTo).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.x.WriteTo(w) }
+
+// Save writes the index to path.
+func (ix *Index) Save(path string) error { return ix.x.SaveFile(path) }
+
+// Open reads an index previously saved with Save, binding it to g (the
+// graph it was built over).
+func Open(path string, g *Graph) (*Index, error) {
+	x, err := core.LoadFile(path, g)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(x), nil
+}
+
+// ReadIndex deserializes an index from r, binding it to g.
+func ReadIndex(r io.Reader, g *Graph) (*Index, error) {
+	x, err := core.ReadIndex(r, g)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(x), nil
+}
+
+// DiskIndex answers single-pair queries against an index file whose HP
+// entries stay on disk; only O(n) metadata is memory-resident and each
+// query costs two positioned reads (Section 5.4 of the paper).
+type DiskIndex struct {
+	d  *core.DiskIndex
+	mu sync.Mutex
+	s  *core.DiskScratch
+	ss *core.SourceScratch
+}
+
+// OpenDisk opens path for disk-resident querying.
+func OpenDisk(path string, g *Graph) (*DiskIndex, error) {
+	d, err := core.OpenDiskIndex(path, g)
+	if err != nil {
+		return nil, err
+	}
+	return &DiskIndex{d: d, s: d.NewScratch()}, nil
+}
+
+// SimRank returns s̃(u, v) reading H(u) and H(v) from disk.
+func (di *DiskIndex) SimRank(u, v NodeID) (float64, error) {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	return di.d.SimRank(u, v, di.s)
+}
+
+// SingleSource returns s̃(u, v) for every node v, reading H(u) from disk
+// with one positioned read and propagating in memory (Algorithm 6).
+func (di *DiskIndex) SingleSource(u NodeID, out []float64) ([]float64, error) {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	if di.ss == nil {
+		di.ss = di.d.Meta().NewSourceScratch()
+	}
+	return di.d.SingleSource(u, di.s, di.ss, out)
+}
+
+// Bytes returns the memory-resident footprint (metadata only).
+func (di *DiskIndex) Bytes() int64 { return di.d.Meta().Bytes() }
+
+// Close releases the underlying file.
+func (di *DiskIndex) Close() error { return di.d.Close() }
+
+// ExactAllPairs computes ground-truth SimRank scores with the power
+// method at additive accuracy eps. It needs O(n²) memory and is meant for
+// validation on small graphs, mirroring the paper's use of 50 power
+// iterations as ground truth.
+func ExactAllPairs(g *Graph, c, eps float64) (*power.Scores, error) {
+	return power.AllPairs(g, c, power.IterationsFor(eps, c))
+}
+
+// PairScore is an unordered node pair with its SimRank score, as returned
+// by SimilarPairs.
+type PairScore struct {
+	U, V  NodeID
+	Score float64
+}
+
+// SimilarPairs returns every unordered pair {u, v} whose indexed score is
+// at least tau (a SimRank similarity join), sorted by descending score.
+// Results are exact with respect to the index, hence within ErrorBound of
+// true SimRank. Intended for moderate thresholds (tau ≥ ~0.1); it panics
+// unless tau is in (0, 1].
+func (ix *Index) SimilarPairs(tau float64) []PairScore {
+	pairs := ix.x.SimilarPairs(tau)
+	out := make([]PairScore, len(pairs))
+	for i, p := range pairs {
+		out[i] = PairScore{U: p.U, V: p.V, Score: p.Score}
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package sling
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"sling/internal/rng"
+)
+
+func testGraph(n, m int, seed uint64) *Graph {
+	r := rng.New(seed)
+	b := NewGraphBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(NodeID(r.Intn(n)), NodeID(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	b := NewGraphBuilder(4)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	ix, err := Build(g, &Options{Eps: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 0 and 1 are in-twins of nothing (no in-neighbors), so their
+	// similarity is 0; node 2's only in-pair is (0,1).
+	if got := ix.SimRank(0, 1); got != 0 {
+		t.Fatalf("s(0,1) = %v, want 0 (both have no in-neighbors)", got)
+	}
+	if got := ix.SimRank(2, 2); math.Abs(got-1) > ix.ErrorBound() {
+		t.Fatalf("s(2,2) = %v", got)
+	}
+}
+
+func TestAccuracyAgainstExact(t *testing.T) {
+	g := testGraph(40, 220, 2)
+	ix, err := Build(g, &Options{Eps: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := ExactAllPairs(g, ix.C(), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			got := ix.SimRank(NodeID(i), NodeID(j))
+			if d := math.Abs(got - truth.At(i, j)); d > ix.ErrorBound() {
+				t.Fatalf("error %v at (%d,%d) exceeds %v", d, i, j, ix.ErrorBound())
+			}
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	g := testGraph(60, 360, 4)
+	ix, err := Build(g, &Options{Eps: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference answers single-threaded.
+	want := make([]float64, 60)
+	for v := 0; v < 60; v++ {
+		want[v] = ix.SimRank(7, NodeID(v))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for v := 0; v < 60; v++ {
+					if got := ix.SimRank(7, NodeID(v)); got != want[v] {
+						errs <- "concurrent query mismatch"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, bad := <-errs; bad {
+		t.Fatal(msg)
+	}
+}
+
+func TestSingleSourceAndTopK(t *testing.T) {
+	g := testGraph(50, 300, 6)
+	ix, err := Build(g, &Options{Eps: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := ix.SingleSource(3, nil)
+	if len(scores) != 50 {
+		t.Fatalf("single-source returned %d scores", len(scores))
+	}
+	top := ix.TopK(3, 5)
+	if len(top) > 5 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	for i, s := range top {
+		if s.Node == 3 {
+			t.Fatal("TopK includes the query node")
+		}
+		if i > 0 && top[i-1].Score < s.Score {
+			t.Fatal("TopK not in descending order")
+		}
+		if math.Abs(scores[s.Node]-s.Score) > ix.ErrorBound() {
+			t.Fatal("TopK scores disagree with SingleSource")
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	g := testGraph(10, 40, 8)
+	ix, err := Build(g, &Options{Eps: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.TopK(0, 0); got != nil {
+		t.Fatal("TopK(k=0) returned results")
+	}
+	if got := ix.TopK(0, 1000); len(got) > 9 {
+		t.Fatalf("TopK overflow: %d results", len(got))
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	g := testGraph(30, 180, 10)
+	ix, err := Build(g, &Options{Eps: 0.06, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/roundtrip.sling"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Open(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := NodeID(0); i < 30; i++ {
+		for j := NodeID(0); j < 30; j += 3 {
+			if a, b := ix.SimRank(i, j), ix2.SimRank(i, j); a != b {
+				t.Fatalf("round trip changed s(%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestWriteToReadIndex(t *testing.T) {
+	g := testGraph(20, 100, 12)
+	ix, err := Build(g, &Options{Eps: 0.08, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := ReadIndex(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Bytes() != ix.Bytes() {
+		t.Fatal("byte accounting changed over serialization")
+	}
+}
+
+func TestOpenDisk(t *testing.T) {
+	g := testGraph(40, 240, 14)
+	ix, err := Build(g, &Options{Eps: 0.06, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/disk.sling"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	di, err := OpenDisk(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer di.Close()
+	if di.Bytes() >= ix.Bytes() {
+		t.Fatal("disk mode not smaller in memory than full index")
+	}
+	for i := NodeID(0); i < 40; i += 3 {
+		for j := NodeID(0); j < 40; j += 5 {
+			got, err := di.SimRank(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ix.SimRank(i, j); got != want {
+				t.Fatalf("disk s(%d,%d)=%v, memory %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestLoadEdgeList(t *testing.T) {
+	in := "# demo\n5 7\n7 9\n5 7\n"
+	g, labels, err := LoadEdgeList(bytes.NewReader([]byte(in)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if labels[0] != 5 {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestBuildWithStats(t *testing.T) {
+	g := testGraph(30, 180, 16)
+	_, st, err := BuildWithStats(g, &Options{Eps: 0.06, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries == 0 || st.HPPushes == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestBuildOutOfCoreFacade(t *testing.T) {
+	g := testGraph(30, 180, 18)
+	mem, err := Build(g, &Options{Eps: 0.06, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ooc, err := BuildOutOfCore(g, &Options{Eps: 0.06, Seed: 19}, t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := NodeID(0); i < 30; i += 2 {
+		for j := NodeID(0); j < 30; j += 3 {
+			if mem.SimRank(i, j) != ooc.SimRank(i, j) {
+				t.Fatalf("out-of-core differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g := FromEdges(3, []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 0, To: 1}})
+	if g.NumEdges() != 2 {
+		t.Fatalf("m=%d", g.NumEdges())
+	}
+}
+
+func TestDiskIndexSingleSourceFacade(t *testing.T) {
+	g := testGraph(40, 240, 20)
+	ix, err := Build(g, &Options{Eps: 0.06, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/dss.sling"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	di, err := OpenDisk(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer di.Close()
+	want := ix.SingleSource(9, nil)
+	got, err := di.SingleSource(9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("disk single-source differs at %d", v)
+		}
+	}
+}
+
+func TestSimilarPairsFacade(t *testing.T) {
+	g := testGraph(40, 200, 22)
+	ix, err := Build(g, &Options{Eps: 0.08, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := ix.SimilarPairs(0.2)
+	for i, p := range pairs {
+		if p.Score < 0.2 || p.U >= p.V {
+			t.Fatalf("bad pair %+v", p)
+		}
+		if want := ix.SimRank(p.U, p.V); want != p.Score {
+			t.Fatalf("join score %v disagrees with SimRank %v", p.Score, want)
+		}
+		if i > 0 && pairs[i-1].Score < p.Score {
+			t.Fatal("not sorted")
+		}
+	}
+}
