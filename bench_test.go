@@ -5,6 +5,7 @@
 package sling
 
 import (
+	"sort"
 	"sync"
 	"testing"
 
@@ -333,5 +334,79 @@ func BenchmarkFacadeSimRank(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := s.pairs[i%len(s.pairs)]
 		ix.SimRank(p.U, p.V)
+	}
+}
+
+// ---- Serving engine: top-k selection and batch single-source ----
+
+// benchSortTop is the pre-heap top-k baseline (materialize all positive
+// candidates, full sort) kept for comparison.
+func benchSortTop(scores []float64, k int, skip NodeID) []Scored {
+	out := make([]Scored, 0, len(scores))
+	for v, sc := range scores {
+		if NodeID(v) == skip || sc <= 0 {
+			continue
+		}
+		out = append(out, Scored{Node: NodeID(v), Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}
+
+// BenchmarkTopK compares size-k heap selection against the full-sort
+// baseline it replaced, over one precomputed score vector so only the
+// selection step is measured (k=10 ≪ n).
+func BenchmarkTopK(b *testing.B) {
+	s := setup(b, "Enron")
+	ss := s.sling.NewSourceScratch()
+	scores := s.sling.SingleSource(s.nodes[0], ss, nil)
+	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.SelectTop(scores, 10, s.nodes[0])
+		}
+	})
+	b.Run("fullsort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSortTop(scores, 10, s.nodes[0])
+		}
+	})
+}
+
+// BenchmarkTopKEndToEnd is the facade path a /topk request takes:
+// pooled single-source evaluation plus heap selection.
+func BenchmarkTopKEndToEnd(b *testing.B) {
+	s := setup(b, "GrQc")
+	ix, err := Build(s.g, &Options{Eps: benchEps, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.TopK(s.nodes[i%len(s.nodes)], 10)
+	}
+}
+
+// BenchmarkSingleSourceBatch measures batch fan-out over worker counts —
+// the engine behind POST /batch and SingleSourceBatch.
+func BenchmarkSingleSourceBatch(b *testing.B) {
+	s := setup(b, "GrQc")
+	us := s.nodes[:64]
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "workers-1", 2: "workers-2", 4: "workers-4", 8: "workers-8"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.sling.SingleSourceBatch(us, workers)
+			}
+		})
 	}
 }

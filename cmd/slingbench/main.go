@@ -22,6 +22,9 @@
 //	fig9     SLING preprocessing time vs worker count
 //	fig10    out-of-core preprocessing time vs memory buffer
 //	ablation Section 5 design-choice ablations
+//	throughput  batch single-source throughput vs worker count, and
+//	         top-k heap selection vs full sort (the serving engine's
+//	         hot paths; not a paper figure)
 //	all      everything above
 //
 // The default "fast" preset uses ε=0.1 so the full sweep finishes on a
@@ -51,7 +54,7 @@ import (
 )
 
 var (
-	expFlag      = flag.String("exp", "perf", "experiment: table3|fig1|fig2|fig3|fig4|perf|fig5|fig6|fig7|acc|fig9|fig10|ablation|all")
+	expFlag      = flag.String("exp", "perf", "experiment: table3|fig1|fig2|fig3|fig4|perf|fig5|fig6|fig7|acc|fig9|fig10|ablation|throughput|all")
 	datasetsFlag = flag.String("datasets", "", "comma-separated dataset names (default: per-experiment)")
 	scaleFlag    = flag.Float64("scale", 1, "dataset scale factor")
 	presetFlag   = flag.String("preset", "fast", "parameter preset: fast (eps=0.1) or paper (eps=0.025)")
@@ -100,6 +103,10 @@ func run() error {
 			if err := runAblation(); err != nil {
 				return err
 			}
+		case "throughput":
+			if err := runThroughput(); err != nil {
+				return err
+			}
 		case "all":
 			runTable3()
 			if err := runPerf(); err != nil {
@@ -115,6 +122,9 @@ func run() error {
 				return err
 			}
 			if err := runAblation(); err != nil {
+				return err
+			}
+			if err := runThroughput(); err != nil {
 				return err
 			}
 		default:
@@ -701,6 +711,111 @@ func runAblation() error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// ------------------------------------------------------------ throughput
+
+// runThroughput measures the query-serving engine (not a paper figure):
+// SingleSourceBatch throughput as the source fan-out widens across
+// workers, and top-k selection with the size-k heap against the full-sort
+// baseline it replaced. The batch path is what POST /batch drives, so
+// these numbers bound served throughput on this host.
+func runThroughput() error {
+	def := []workload.Spec{}
+	for _, name := range []string{"GrQc", "Wiki-Vote", "Enron"} {
+		s, ok := workload.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown default dataset %q", name)
+		}
+		def = append(def, s)
+	}
+	specs, err := selectDatasets(def)
+	if err != nil {
+		return err
+	}
+	slingOpt, _, _, err := params(*presetFlag)
+	if err != nil {
+		return err
+	}
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Throughput: batch single-source and top-k serving paths (preset %s, scale %g) ==\n", *presetFlag, *scaleFlag)
+
+	fmt.Println("\n-- single-source batch throughput vs workers --")
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tworkers\tsources\ttotal\tqueries/s\tspeedup")
+	type topkRow struct {
+		name       string
+		heap, sort time.Duration
+	}
+	var topkRows []topkRow
+	for _, spec := range specs {
+		g := spec.Generate(*scaleFlag)
+		ix, err := core.Build(g, &slingOpt)
+		if err != nil {
+			return fmt.Errorf("%s: build: %w", spec.Name, err)
+		}
+		sources := workload.RandomNodes(g, *sourcesFlag, *seedFlag+13)
+		var serial time.Duration
+		for _, th := range threads {
+			start := time.Now()
+			ix.SingleSourceBatch(sources, th)
+			total := time.Since(start)
+			if th == threads[0] {
+				serial = total
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%.0f\t%.2fx\n",
+				spec.Name, th, len(sources), fmtDur(total),
+				float64(len(sources))/total.Seconds(), float64(serial)/float64(total))
+		}
+
+		// Top-k: heap selection vs the full n log n sort it replaced,
+		// over one shared score vector so only selection is timed.
+		scores := ix.SingleSource(sources[0], nil, nil)
+		row := topkRow{name: spec.Name}
+		row.heap, _ = timeBox(2000, 5*time.Second, func(i int) {
+			core.SelectTop(scores, 10, sources[0])
+		})
+		row.sort, _ = timeBox(2000, 5*time.Second, func(i int) {
+			fullSortTop(scores, 10, sources[0])
+		})
+		topkRows = append(topkRows, row)
+	}
+	w.Flush()
+
+	fmt.Println("\n-- top-10 selection over one score vector --")
+	w = newTab()
+	fmt.Fprintln(w, "dataset\theap (O(n log k))\tfull sort (O(n log n))\tspeedup")
+	for _, r := range topkRows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1fx\n", r.name, fmtDur(r.heap), fmtDur(r.sort), float64(r.sort)/float64(r.heap))
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+// fullSortTop is the pre-heap top-k baseline: materialize every positive
+// candidate and sort all of them.
+func fullSortTop(scores []float64, k int, skip graph.NodeID) []core.TopEntry {
+	out := make([]core.TopEntry, 0, len(scores))
+	for v, sc := range scores {
+		if graph.NodeID(v) == skip || sc <= 0 {
+			continue
+		}
+		out = append(out, core.TopEntry{Node: graph.NodeID(v), Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
 }
 
 func parseInts(csv string) ([]int, error) {

@@ -2,10 +2,13 @@
 // index. It either loads a prebuilt index (slingtool build) or builds one
 // at startup.
 //
-//	slingserver -graph g.txt [-undirected] [-index idx.sling] [-eps 0.025] [-addr :8080]
+//	slingserver -graph g.txt [-undirected] [-index idx.sling] [-eps 0.025] [-addr :8080] [-batch-workers N]
 //
-// Endpoints (JSON): /simrank?u=&v=  /source?u=[&limit=]  /topk?u=&k=
-// /stats  /healthz. Node parameters use the edge list's original labels.
+// Endpoints (JSON): GET /simrank?u=&v=  /source?u=[&limit=]  /topk?u=&k=
+// /stats  /healthz, plus POST /batch accepting a JSON array of
+// simrank/source/topk operations executed concurrently on a worker pool
+// bounded by -batch-workers. Node parameters use the edge list's original
+// labels.
 package main
 
 import (
@@ -28,6 +31,8 @@ func main() {
 	workers := flag.Int("workers", 1, "build parallelism")
 	seed := flag.Uint64("seed", 1, "build seed")
 	addr := flag.String("addr", ":8080", "listen address")
+	batchWorkers := flag.Int("batch-workers", 0, "concurrent ops per /batch request (default GOMAXPROCS)")
+	maxBatchOps := flag.Int("max-batch-ops", 0, "max ops per /batch request (default 4096)")
 	flag.Parse()
 
 	if *graphPath == "" {
@@ -60,7 +65,10 @@ func main() {
 
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.New(ix, labels),
+		Handler: server.NewWithConfig(ix, labels, server.Config{
+			BatchWorkers: *batchWorkers,
+			MaxBatchOps:  *maxBatchOps,
+		}),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}

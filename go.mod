@@ -1,0 +1,3 @@
+module sling
+
+go 1.24

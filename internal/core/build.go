@@ -127,7 +127,7 @@ func BuildWithStats(g *graph.Graph, o *Options) (*Index, BuildStats, error) {
 	x.vals = make([]float64, total)
 	cursor := make([]int64, n)
 	copy(cursor, x.off[:n])
-	for _, out := range outs {
+	for w, out := range outs {
 		for _, e := range out {
 			if keep(e) {
 				c := cursor[e.x]
@@ -136,8 +136,9 @@ func BuildWithStats(g *graph.Graph, o *Options) (*Index, BuildStats, error) {
 				cursor[e.x]++
 			}
 		}
-		// Worker output is no longer needed; let it be collected before
-		// sorting temporarily doubles pressure on large builds.
+		// Drop the scattered worker output so it can be collected before
+		// sorting, which would otherwise double peak build memory.
+		outs[w] = nil
 	}
 	for v := 0; v < n; v++ {
 		sortEntries(x.keys[x.off[v]:x.off[v+1]], x.vals[x.off[v]:x.off[v+1]])

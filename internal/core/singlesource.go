@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"sling/internal/graph"
 	"sling/internal/power"
@@ -123,15 +125,67 @@ func (x *Index) SingleSourceNaive(u graph.NodeID, s *Scratch, out []float64) []f
 	return out
 }
 
+// forEachSource runs fn(i, scratch) for every i in [0, count), fanned
+// across workers goroutines (Options.Workers when workers <= 0), each
+// with its own SourceScratch. Sources are handed out from a shared atomic
+// counter so stragglers don't idle a worker. Each call of fn is
+// independent, so the results are identical at any worker count.
+func (x *Index) forEachSource(count, workers int, fn func(i int, s *SourceScratch)) {
+	if workers <= 0 {
+		workers = x.prm.workers
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		s := x.NewSourceScratch()
+		for i := 0; i < count; i++ {
+			fn(i, s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := x.NewSourceScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
+				fn(i, s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SingleSourceBatch answers one single-source query per source in us,
+// fanning the sources across workers goroutines (Options.Workers when
+// workers <= 0) with per-worker scratch. Row i equals
+// SingleSource(us[i], ...) exactly — per-source computation is untouched,
+// so batch results are byte-identical to serial execution.
+func (x *Index) SingleSourceBatch(us []graph.NodeID, workers int) [][]float64 {
+	n := x.g.NumNodes()
+	out := make([][]float64, len(us))
+	x.forEachSource(len(us), workers, func(i int, s *SourceScratch) {
+		out[i] = x.SingleSource(us[i], s, make([]float64, n))
+	})
+	return out
+}
+
 // AllPairs materializes the full score matrix by running Algorithm 6 from
 // every node — the procedure behind the paper's accuracy experiments
-// (Figures 5-7). It needs O(n²) output memory; callers own sizing checks.
+// (Figures 5-7) — parallel across Options.Workers. It needs O(n²) output
+// memory; callers own sizing checks.
 func (x *Index) AllPairs() *power.Scores {
 	n := x.g.NumNodes()
 	s := &power.Scores{N: n, Data: make([]float64, n*n)}
-	ss := x.NewSourceScratch()
-	for u := 0; u < n; u++ {
+	x.forEachSource(n, 0, func(u int, ss *SourceScratch) {
 		x.SingleSource(graph.NodeID(u), ss, s.Data[u*n:(u+1)*n])
-	}
+	})
 	return s
 }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+
+	"sling/internal/graph"
+)
+
+// Top-k selection over a single-source score vector.
+//
+// A similarity service overwhelmingly asks "who are the k most similar
+// nodes to u" for k ≪ n, so materializing and fully sorting an n-element
+// candidate list per query (O(n log n) time, O(n) garbage) is the wrong
+// shape. SelectTop keeps a size-k min-heap over the vector instead:
+// O(n log k) time, O(k) space, and the only allocation is the k-element
+// result the caller keeps.
+
+// TopEntry is one (node, score) result of a top-k selection.
+type TopEntry struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// worseThan reports whether a ranks strictly behind b in top-k order.
+// Ordering is total and deterministic: higher score first, ties broken by
+// smaller node ID.
+func (a TopEntry) worseThan(b TopEntry) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Node > b.Node
+}
+
+// SelectTop returns the k highest-scoring entries of scores in descending
+// score order (ties broken by ascending node ID). The node skip is
+// excluded (pass a negative skip to keep every node), as are entries with
+// non-positive score, so fewer than k entries may be returned.
+func SelectTop(scores []float64, k int, skip graph.NodeID) []TopEntry {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	h := make([]TopEntry, 0, k)
+	for v, sc := range scores {
+		if sc <= 0 || graph.NodeID(v) == skip {
+			continue
+		}
+		e := TopEntry{Node: graph.NodeID(v), Score: sc}
+		if len(h) < k {
+			h = append(h, e)
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if !h[0].worseThan(e) {
+			continue // e ranks behind the worst kept entry
+		}
+		h[0] = e
+		siftDown(h, 0)
+	}
+	// Heap-order is by "worst first"; the response wants best first.
+	sort.Slice(h, func(i, j int) bool { return h[j].worseThan(h[i]) })
+	return h
+}
+
+// siftUp restores min-heap order (root = worst kept entry) after
+// appending at position i.
+func siftUp(h []TopEntry, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].worseThan(h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// siftDown restores min-heap order after replacing the root.
+func siftDown(h []TopEntry, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h[l].worseThan(h[m]) {
+			m = l
+		}
+		if r < n && h[r].worseThan(h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// TopK returns the k nodes most similar to u (excluding u itself) in
+// descending score order, running one single-source query and a heap
+// selection over it. out is the score buffer to compute into (allocated
+// when it lacks capacity); a nil scratch allocates one.
+func (x *Index) TopK(u graph.NodeID, k int, s *SourceScratch, out []float64) []TopEntry {
+	if k <= 0 {
+		return nil
+	}
+	return SelectTop(x.SingleSource(u, s, out), k, u)
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"sling"
+)
+
+// POST /batch executes a list of query operations in one round trip,
+// fanned across a bounded worker pool (Config.BatchWorkers), the shape a
+// high-throughput client wants: one request amortizes connection and
+// JSON overhead over many queries, and the server keeps every core busy
+// without unbounded goroutine fan-out.
+//
+// Request body: a JSON array of operations
+//
+//	[{"op":"simrank","u":U,"v":V},
+//	 {"op":"source","u":U,"limit":L},   // limit optional
+//	 {"op":"topk","u":U,"k":K}, ...]    // k defaults to 10
+//
+// Response: {"results":[...]} with one entry per operation, in request
+// order, each either the same JSON object the corresponding GET endpoint
+// returns or {"op":...,"error":"..."}. Per-operation failures do not fail
+// the request; malformed JSON, a non-POST method, or more than
+// Config.MaxBatchOps operations do (400/405/413).
+
+// BatchOp is one operation in a POST /batch request. U and V are node
+// labels (original labels when the server has a label mapping, dense IDs
+// otherwise); pointers distinguish "absent" from label 0.
+type BatchOp struct {
+	Op    string `json:"op"`
+	U     *int64 `json:"u,omitempty"`
+	V     *int64 `json:"v,omitempty"`
+	K     *int   `json:"k,omitempty"`
+	Limit *int   `json:"limit,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	// Bound the body before decoding so MaxBatchOps limits memory, not
+	// just op count: 256 bytes comfortably covers any legitimate op.
+	maxBytes := int64(s.cfg.MaxBatchOps)*256 + 4096
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	var ops []BatchOp
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ops); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch body exceeds %d bytes", maxBytes))
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad batch body: %v", err))
+		return
+	}
+	if len(ops) > s.cfg.MaxBatchOps {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d ops exceeds limit %d", len(ops), s.cfg.MaxBatchOps))
+		return
+	}
+
+	results := make([]interface{}, len(ops))
+	workers := s.cfg.BatchWorkers
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	if workers <= 1 {
+		for i, op := range ops {
+			results[i] = s.runOp(op)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(ops) {
+						return
+					}
+					results[i] = s.runOp(ops[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	writeJSON(w, map[string]interface{}{"results": results})
+}
+
+// runOp executes one batch operation, returning either the op's response
+// object or an error object mirroring the single-query endpoints.
+func (s *Server) runOp(op BatchOp) interface{} {
+	fail := func(err error) interface{} {
+		return map[string]interface{}{"op": op.Op, "error": err.Error()}
+	}
+	u, err := s.opNode(op.U, "u")
+	if err != nil {
+		return fail(err)
+	}
+	switch op.Op {
+	case "simrank":
+		v, err := s.opNode(op.V, "v")
+		if err != nil {
+			return fail(err)
+		}
+		return map[string]interface{}{
+			"op": op.Op, "u": s.label(u), "v": s.label(v),
+			"score": s.ix.SimRank(u, v),
+		}
+	case "source":
+		limit := -1
+		if op.Limit != nil {
+			if *op.Limit < 0 {
+				return fail(fmt.Errorf("bad limit %d", *op.Limit))
+			}
+			limit = *op.Limit
+		}
+		return map[string]interface{}{
+			"op": op.Op, "u": s.label(u),
+			"scores": s.sourceScores(u, limit),
+		}
+	case "topk":
+		k := 10
+		if op.K != nil {
+			// Mirror GET /topk: an explicit k must be >= 1.
+			if *op.K < 1 {
+				return fail(fmt.Errorf("bad k %d", *op.K))
+			}
+			k = *op.K
+		}
+		return map[string]interface{}{
+			"op": op.Op, "u": s.label(u),
+			"results": s.scored(s.ix.TopK(u, k)),
+		}
+	default:
+		return fail(fmt.Errorf("unknown op %q (want simrank|source|topk)", op.Op))
+	}
+}
+
+// opNode resolves a batch node parameter like Server.node does for query
+// strings.
+func (s *Server) opNode(raw *int64, name string) (sling.NodeID, error) {
+	if raw == nil {
+		return 0, fmt.Errorf("missing node %q", name)
+	}
+	if s.byLbl != nil {
+		id, ok := s.byLbl[*raw]
+		if !ok {
+			return 0, fmt.Errorf("node %d not in graph", *raw)
+		}
+		return id, nil
+	}
+	if *raw < 0 || *raw >= int64(s.ix.Graph().NumNodes()) {
+		return 0, fmt.Errorf("node %d out of range [0,%d)", *raw, s.ix.Graph().NumNodes())
+	}
+	return sling.NodeID(*raw), nil
+}

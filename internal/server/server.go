@@ -1,15 +1,23 @@
 // Package server exposes a SLING index over HTTP with a small JSON API,
 // the deployment shape a similarity service would actually run: build (or
-// load) the index once, then serve single-pair, single-source and top-k
-// queries concurrently.
+// load) the index once, then serve single-pair, single-source, top-k and
+// batched queries concurrently over pooled scratch.
 //
 // Endpoints:
 //
-//	GET /simrank?u=U&v=V          -> {"u":U,"v":V,"score":S}
-//	GET /source?u=U[&limit=L]     -> {"u":U,"scores":[{"node":V,"score":S},...]}
-//	GET /topk?u=U&k=K             -> {"u":U,"results":[{"node":V,"score":S},...]}
-//	GET /stats                    -> index and graph statistics
-//	GET /healthz                  -> 200 ok
+//	GET  /simrank?u=U&v=V          -> {"u":U,"v":V,"score":S}
+//	GET  /source?u=U[&limit=L]     -> {"u":U,"scores":[{"node":V,"score":S},...]}
+//	GET  /topk?u=U&k=K             -> {"u":U,"results":[{"node":V,"score":S},...]}
+//	POST /batch                    -> {"results":[...]} (see batch.go)
+//	GET  /stats                    -> index and graph statistics
+//	GET  /healthz                  -> 200 ok
+//
+// /source without a limit returns the full single-source score vector in
+// node order. With limit=L it returns the L highest-scoring nodes (u
+// itself included, typically first with s(u,u)=1) in descending score
+// order, ties broken by ascending node ID — the same deterministic order
+// /topk uses, selected with the same heap, not an arbitrary ID-order
+// prefix of the vector.
 //
 // Node parameters use the graph's original labels when the server is
 // constructed with a label mapping, dense IDs otherwise.
@@ -19,10 +27,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 
 	"sling"
 )
+
+// Config tunes a Server beyond its defaults.
+type Config struct {
+	// BatchWorkers bounds how many operations of one POST /batch request
+	// run concurrently. Defaults to runtime.GOMAXPROCS(0).
+	BatchWorkers int
+	// MaxBatchOps caps the number of operations accepted in one POST
+	// /batch request; larger requests are rejected with 413. Default 4096.
+	MaxBatchOps int
+}
+
+// DefaultMaxBatchOps is the default cap on operations per /batch request.
+const DefaultMaxBatchOps = 4096
 
 // Server routes HTTP queries to a SLING index. It is safe for concurrent
 // use; the underlying index pools query scratch internally.
@@ -31,12 +53,26 @@ type Server struct {
 	labels []int64                // dense ID -> original label; nil = identity
 	byLbl  map[int64]sling.NodeID // original label -> dense ID
 	mux    *http.ServeMux
+	cfg    Config
 }
 
-// New creates a Server over a built index. labels may be nil, in which
-// case node parameters are dense IDs in [0, NumNodes).
+// New creates a Server over a built index with a default Config. labels
+// may be nil, in which case node parameters are dense IDs in
+// [0, NumNodes).
 func New(ix *sling.Index, labels []int64) *Server {
-	s := &Server{ix: ix, labels: labels}
+	return NewWithConfig(ix, labels, Config{})
+}
+
+// NewWithConfig is New with explicit tuning; zero Config fields take
+// their defaults.
+func NewWithConfig(ix *sling.Index, labels []int64, cfg Config) *Server {
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBatchOps <= 0 {
+		cfg.MaxBatchOps = DefaultMaxBatchOps
+	}
+	s := &Server{ix: ix, labels: labels, cfg: cfg}
 	if labels != nil {
 		s.byLbl = make(map[int64]sling.NodeID, len(labels))
 		for id, l := range labels {
@@ -47,6 +83,7 @@ func New(ix *sling.Index, labels []int64) *Server {
 	s.mux.HandleFunc("/simrank", s.handleSimRank)
 	s.mux.HandleFunc("/source", s.handleSource)
 	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -129,26 +166,41 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	limit := s.ix.Graph().NumNodes()
+	limit := -1
 	if raw := r.URL.Query().Get("limit"); raw != "" {
 		l, err := strconv.Atoi(raw)
 		if err != nil || l < 0 {
 			httpError(w, http.StatusBadRequest, "bad limit")
 			return
 		}
-		if l < limit {
-			limit = l
-		}
+		limit = l
 	}
-	scores := s.ix.SingleSource(u, nil)
-	out := make([]ScoredNode, 0, limit)
-	for v, sc := range scores {
-		if len(out) == limit {
-			break
+	writeJSON(w, map[string]interface{}{"u": s.label(u), "scores": s.sourceScores(u, limit)})
+}
+
+// sourceScores computes the /source payload: the full score vector in
+// node order when limit is negative, otherwise the limit highest-scoring
+// nodes in descending score order (ties by ascending node ID), selected
+// with the size-limit heap rather than a full sort.
+func (s *Server) sourceScores(u sling.NodeID, limit int) []ScoredNode {
+	if limit < 0 {
+		scores := s.ix.SingleSource(u, nil)
+		out := make([]ScoredNode, len(scores))
+		for v, sc := range scores {
+			out[v] = ScoredNode{Node: s.label(sling.NodeID(v)), Score: sc}
 		}
-		out = append(out, ScoredNode{Node: s.label(sling.NodeID(v)), Score: sc})
+		return out
 	}
-	writeJSON(w, map[string]interface{}{"u": s.label(u), "scores": out})
+	return s.scored(s.ix.SourceTop(u, limit))
+}
+
+// scored converts top-k results to response entries in external labels.
+func (s *Server) scored(top []sling.Scored) []ScoredNode {
+	out := make([]ScoredNode, len(top))
+	for i, t := range top {
+		out[i] = ScoredNode{Node: s.label(t.Node), Score: t.Score}
+	}
+	return out
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -165,12 +217,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	top := s.ix.TopK(u, k)
-	out := make([]ScoredNode, len(top))
-	for i, t := range top {
-		out[i] = ScoredNode{Node: s.label(t.Node), Score: t.Score}
-	}
-	writeJSON(w, map[string]interface{}{"u": s.label(u), "results": out})
+	writeJSON(w, map[string]interface{}{"u": s.label(u), "results": s.scored(s.ix.TopK(u, k))})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -200,5 +201,189 @@ func TestConcurrentRequests(t *testing.T) {
 	close(fail)
 	if msg, bad := <-fail; bad {
 		t.Fatal(msg)
+	}
+}
+
+func postBatch(t *testing.T, s *Server, body string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var out map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil && rec.Code == http.StatusOK {
+		t.Fatalf("bad JSON from /batch: %v (%q)", err, rec.Body.String())
+	}
+	return rec, out
+}
+
+func TestSourceLimitReturnsTopScores(t *testing.T) {
+	s, ix := testServer(t, nil)
+	_, body := get(t, s, "/source?u=5&limit=4")
+	scores := body["scores"].([]interface{})
+	if len(scores) != 4 {
+		t.Fatalf("limit ignored: %d scores", len(scores))
+	}
+	want := ix.SourceTop(5, 4)
+	for i, raw := range scores {
+		e := raw.(map[string]interface{})
+		if int64(e["node"].(float64)) != int64(want[i].Node) || e["score"].(float64) != want[i].Score {
+			t.Fatalf("entry %d = %v, want %+v", i, e, want[i])
+		}
+	}
+	// Descending by score: the head must be the source itself (s(u,u)=1
+	// dominates), not node 0 of an ID-order prefix.
+	if int64(scores[0].(map[string]interface{})["node"].(float64)) != 5 {
+		t.Fatal("limit prefix is not score-ordered")
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i].(map[string]interface{})["score"].(float64) > scores[i-1].(map[string]interface{})["score"].(float64) {
+			t.Fatal("scores not descending")
+		}
+	}
+}
+
+func TestBatchHappyPath(t *testing.T) {
+	s, ix := testServer(t, nil)
+	rec, body := postBatch(t, s, `[
+		{"op":"simrank","u":3,"v":7},
+		{"op":"topk","u":2,"k":5},
+		{"op":"source","u":5,"limit":3},
+		{"op":"simrank","u":0,"v":0}
+	]`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	results := body["results"].([]interface{})
+	if len(results) != 4 {
+		t.Fatalf("%d results", len(results))
+	}
+	r0 := results[0].(map[string]interface{})
+	if r0["score"].(float64) != ix.SimRank(3, 7) {
+		t.Fatalf("batch simrank %v != direct", r0["score"])
+	}
+	r1 := results[1].(map[string]interface{})
+	top := ix.TopK(2, 5)
+	got := r1["results"].([]interface{})
+	if len(got) != len(top) {
+		t.Fatalf("batch topk %d results, want %d", len(got), len(top))
+	}
+	for i := range got {
+		e := got[i].(map[string]interface{})
+		if int64(e["node"].(float64)) != int64(top[i].Node) || e["score"].(float64) != top[i].Score {
+			t.Fatalf("batch topk entry %d mismatch", i)
+		}
+	}
+	r2 := results[2].(map[string]interface{})
+	if n := len(r2["scores"].([]interface{})); n != 3 {
+		t.Fatalf("batch source returned %d scores", n)
+	}
+	r3 := results[3].(map[string]interface{})
+	if r3["score"].(float64) != ix.SimRank(0, 0) {
+		t.Fatal("batch self simrank mismatch")
+	}
+}
+
+func TestBatchMatchesSerialUnderConcurrentRequests(t *testing.T) {
+	s, ix := testServer(t, nil)
+	want := ix.SimRank(1, 2)
+	var wg sync.WaitGroup
+	fail := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/batch",
+					strings.NewReader(`[{"op":"simrank","u":1,"v":2},{"op":"topk","u":1,"k":3}]`))
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				var body map[string]interface{}
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					fail <- "bad batch json"
+					return
+				}
+				results := body["results"].([]interface{})
+				if results[0].(map[string]interface{})["score"].(float64) != want {
+					fail <- "batch score drift under concurrency"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	if msg, bad := <-fail; bad {
+		t.Fatal(msg)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	s, _ := testServer(t, nil)
+
+	// Non-POST method.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/batch", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /batch status %d, want 405", rec.Code)
+	}
+
+	// Malformed JSON.
+	if rec, _ := postBatch(t, s, `{"op":`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status %d, want 400", rec.Code)
+	}
+
+	// Per-op failures answer 200 with error entries, not a failed request.
+	rec2, body := postBatch(t, s, `[
+		{"op":"simrank","u":3},
+		{"op":"zap","u":3},
+		{"op":"simrank","u":999,"v":1},
+		{"op":"topk","u":1,"k":-2},
+		{"op":"topk","u":1,"k":0},
+		{"op":"source","u":1,"limit":-1}
+	]`)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec2.Code, rec2.Body.String())
+	}
+	for i, raw := range body["results"].([]interface{}) {
+		if raw.(map[string]interface{})["error"] == nil {
+			t.Fatalf("op %d did not report an error: %v", i, raw)
+		}
+	}
+
+	// Oversized batches are rejected outright.
+	small := NewWithConfig(s.ix, nil, Config{MaxBatchOps: 2})
+	if rec, _ := postBatch(t, small, `[{"op":"simrank","u":1,"v":2},{"op":"simrank","u":1,"v":2},{"op":"simrank","u":1,"v":2}]`); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch status %d, want 413", rec.Code)
+	}
+
+	// Oversized bodies are cut off before they are materialized: the
+	// byte bound derived from MaxBatchOps rejects a huge body even when
+	// it encodes few ops (here: kilobytes of leading whitespace).
+	pad := strings.Repeat(" ", 8192) + `[{"op":"simrank","u":1,"v":2}]`
+	if rec, _ := postBatch(t, small, pad); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", rec.Code)
+	}
+}
+
+func TestBatchLabelMapping(t *testing.T) {
+	labels := make([]int64, 40)
+	for i := range labels {
+		labels[i] = int64(1000 + i*10)
+	}
+	s, ix := testServer(t, labels)
+	rec, body := postBatch(t, s, `[{"op":"simrank","u":1030,"v":1070},{"op":"simrank","u":1035,"v":1070}]`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	results := body["results"].([]interface{})
+	r0 := results[0].(map[string]interface{})
+	if r0["score"].(float64) != ix.SimRank(3, 7) {
+		t.Fatal("label-mapped batch score mismatch")
+	}
+	if r0["u"].(float64) != 1030 {
+		t.Fatal("batch response not in external labels")
+	}
+	if results[1].(map[string]interface{})["error"] == nil {
+		t.Fatal("unknown label accepted in batch")
 	}
 }

@@ -31,7 +31,6 @@ package sling
 
 import (
 	"io"
-	"sort"
 	"sync"
 
 	"sling/internal/core"
@@ -87,16 +86,12 @@ func LoadEdgeListFile(path string, undirected bool) (*Graph, []int64, error) {
 // error guarantee of the paper's Theorem 1. It is immutable and safe for
 // concurrent use; per-goroutine query scratch is pooled internally.
 type Index struct {
-	x       *core.Index
-	scratch sync.Pool // *core.Scratch
-	srcPool sync.Pool // *core.SourceScratch
+	x    *core.Index
+	pool *core.ScratchPool
 }
 
 func wrap(x *core.Index) *Index {
-	ix := &Index{x: x}
-	ix.scratch.New = func() interface{} { return x.NewScratch() }
-	ix.srcPool.New = func() interface{} { return x.NewSourceScratch() }
-	return ix
+	return &Index{x: x, pool: x.NewScratchPool()}
 }
 
 // Build constructs a SLING index over g. A nil Options uses the paper's
@@ -131,53 +126,36 @@ func BuildOutOfCore(g *Graph, o *Options, spillDir string, memBudget int64) (*In
 }
 
 // SimRank returns s̃(u, v) with at most ErrorBound additive error.
-func (ix *Index) SimRank(u, v NodeID) float64 {
-	s := ix.scratch.Get().(*core.Scratch)
-	score := ix.x.SimRank(u, v, s)
-	ix.scratch.Put(s)
-	return score
-}
+func (ix *Index) SimRank(u, v NodeID) float64 { return ix.pool.SimRank(u, v) }
 
 // SingleSource returns s̃(u, v) for every node v (Algorithm 6 of the
 // paper), writing into out when it has capacity NumNodes.
 func (ix *Index) SingleSource(u NodeID, out []float64) []float64 {
-	s := ix.srcPool.Get().(*core.SourceScratch)
-	res := ix.x.SingleSource(u, s, out)
-	ix.srcPool.Put(s)
-	return res
+	return ix.pool.SingleSource(u, out)
 }
 
-// Scored is a node with a SimRank score, as returned by TopK.
-type Scored struct {
-	Node  NodeID
-	Score float64
+// SingleSourceBatch answers one single-source query per source in us,
+// fanning the sources across Options.Workers goroutines with per-worker
+// scratch. Row i equals SingleSource(us[i], nil) exactly, at any worker
+// count.
+func (ix *Index) SingleSourceBatch(us []NodeID) [][]float64 {
+	return ix.x.SingleSourceBatch(us, 0)
 }
+
+// Scored is a node with a SimRank score, as returned by TopK and
+// SourceTop.
+type Scored = core.TopEntry
 
 // TopK returns the k nodes most similar to u (excluding u itself) in
-// descending score order, breaking ties by node ID.
-func (ix *Index) TopK(u NodeID, k int) []Scored {
-	if k <= 0 {
-		return nil
-	}
-	scores := ix.SingleSource(u, nil)
-	out := make([]Scored, 0, len(scores))
-	for v, sc := range scores {
-		if NodeID(v) == u || sc <= 0 {
-			continue
-		}
-		out = append(out, Scored{Node: NodeID(v), Score: sc})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Node < out[j].Node
-	})
-	if k > len(out) {
-		k = len(out)
-	}
-	return out[:k]
-}
+// descending score order, breaking ties by node ID. Selection is a
+// size-k min-heap over one single-source evaluation — O(n log k), not a
+// full sort — and every buffer beyond the returned slice is pooled.
+func (ix *Index) TopK(u NodeID, k int) []Scored { return ix.pool.TopK(u, k) }
+
+// SourceTop returns the limit highest-scoring nodes for source u (u
+// itself included, typically in first place with s(u,u)=1) in descending
+// score order, breaking ties by node ID.
+func (ix *Index) SourceTop(u NodeID, limit int) []Scored { return ix.pool.SourceTop(u, limit) }
 
 // Graph returns the graph the index was built over.
 func (ix *Index) Graph() *Graph { return ix.x.Graph() }

@@ -303,3 +303,116 @@ func TestSimilarPairsFacade(t *testing.T) {
 		}
 	}
 }
+
+func TestSingleSourceBatchMatchesSerialFacade(t *testing.T) {
+	g := testGraph(60, 300, 21)
+	// Workers > 1 so the facade batch actually fans out.
+	ix, err := Build(g, &Options{Eps: 0.08, Seed: 21, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := []NodeID{0, 5, 5, 17, 59, 3}
+	batch := ix.SingleSourceBatch(us)
+	if len(batch) != len(us) {
+		t.Fatalf("got %d rows", len(batch))
+	}
+	for i, u := range us {
+		want := ix.SingleSource(u, nil)
+		for v := range want {
+			if batch[i][v] != want[v] {
+				t.Fatalf("row %d (u=%d) node %d: %v != %v", i, u, v, batch[i][v], want[v])
+			}
+		}
+	}
+}
+
+func TestSourceTopSemantics(t *testing.T) {
+	g := testGraph(50, 250, 23)
+	ix, err := Build(g, &Options{Eps: 0.08, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := ix.SingleSource(8, nil)
+	top := ix.SourceTop(8, 5)
+	if len(top) == 0 || len(top) > 5 {
+		t.Fatalf("SourceTop returned %d results", len(top))
+	}
+	// u itself is included (s(u,u) ~ 1) and must lead the list.
+	if top[0].Node != 8 {
+		t.Fatalf("SourceTop head is node %d, want the source itself", top[0].Node)
+	}
+	for i := range top {
+		if top[i].Score != scores[top[i].Node] {
+			t.Fatal("SourceTop scores disagree with SingleSource")
+		}
+		if i > 0 && (top[i].Score > top[i-1].Score ||
+			(top[i].Score == top[i-1].Score && top[i].Node < top[i-1].Node)) {
+			t.Fatal("SourceTop not in (score desc, node asc) order")
+		}
+	}
+	// No node outside the result may beat the tail.
+	tail := top[len(top)-1]
+	for v, sc := range scores {
+		in := false
+		for _, e := range top {
+			if e.Node == NodeID(v) {
+				in = true
+				break
+			}
+		}
+		if !in && sc > tail.Score && len(top) == 5 {
+			t.Fatalf("node %d (score %v) beats kept tail %v", v, sc, tail.Score)
+		}
+	}
+}
+
+func TestFacadeParallelMatchesSerial(t *testing.T) {
+	g := testGraph(60, 300, 25)
+	ix, err := Build(g, &Options{Eps: 0.08, Seed: 25, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := []NodeID{1, 2, 3, 4, 5, 6, 7, 8}
+	wantBatch := ix.SingleSourceBatch(us)
+	wantPair := ix.SimRank(3, 9)
+	wantTop := ix.TopK(2, 6)
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if ix.SimRank(3, 9) != wantPair {
+					errs <- "SimRank drift under concurrency"
+					return
+				}
+				top := ix.TopK(2, 6)
+				if len(top) != len(wantTop) {
+					errs <- "TopK length drift under concurrency"
+					return
+				}
+				for j := range top {
+					if top[j] != wantTop[j] {
+						errs <- "TopK drift under concurrency"
+						return
+					}
+				}
+				batch := ix.SingleSourceBatch(us)
+				for r := range batch {
+					for v := range batch[r] {
+						if batch[r][v] != wantBatch[r][v] {
+							errs <- "SingleSourceBatch drift under concurrency"
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, bad := <-errs; bad {
+		t.Fatal(msg)
+	}
+}
