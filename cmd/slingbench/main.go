@@ -25,6 +25,9 @@
 //	throughput  batch single-source throughput vs worker count, and
 //	         top-k heap selection vs full sort (the serving engine's
 //	         hot paths; not a paper figure)
+//	diskqps  disk-resident (Section 5.4) single-pair QPS vs goroutine
+//	         count and entry-cache size, with cache hit rates (not a
+//	         paper figure; bounds the -disk serving tier)
 //	all      everything above
 //
 // The default "fast" preset uses ε=0.1 so the full sweep finishes on a
@@ -41,12 +44,15 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
 	"sling/internal/core"
 	"sling/internal/eval"
 	"sling/internal/graph"
+	"sling/internal/humanize"
 	"sling/internal/linearize"
 	"sling/internal/mc"
 	"sling/internal/power"
@@ -54,7 +60,7 @@ import (
 )
 
 var (
-	expFlag      = flag.String("exp", "perf", "experiment: table3|fig1|fig2|fig3|fig4|perf|fig5|fig6|fig7|acc|fig9|fig10|ablation|throughput|all")
+	expFlag      = flag.String("exp", "perf", "experiment: table3|fig1|fig2|fig3|fig4|perf|fig5|fig6|fig7|acc|fig9|fig10|ablation|throughput|diskqps|all")
 	datasetsFlag = flag.String("datasets", "", "comma-separated dataset names (default: per-experiment)")
 	scaleFlag    = flag.Float64("scale", 1, "dataset scale factor")
 	presetFlag   = flag.String("preset", "fast", "parameter preset: fast (eps=0.1) or paper (eps=0.025)")
@@ -67,6 +73,8 @@ var (
 	buffersFlag  = flag.String("buffers", "1,4,16,64,all", "memory buffers in MiB for fig10 ('all' = in-memory)")
 	kvalsFlag    = flag.String("k", "400,800,1200,1600,2000", "k values for fig7")
 	mcCapFlag    = flag.Int64("mccap", 1<<30, "max MC index bytes before the dataset is skipped (paper: 64GB)")
+	cachesFlag   = flag.String("caches", "0,0.25,4", "diskqps entry-cache sizes in MiB (0 = uncached)")
+	diskOpsFlag  = flag.Int("diskops", 20000, "diskqps single-pair queries per cell")
 )
 
 func main() {
@@ -107,6 +115,10 @@ func run() error {
 			if err := runThroughput(); err != nil {
 				return err
 			}
+		case "diskqps":
+			if err := runDiskQPS(); err != nil {
+				return err
+			}
 		case "all":
 			runTable3()
 			if err := runPerf(); err != nil {
@@ -125,6 +137,9 @@ func run() error {
 				return err
 			}
 			if err := runThroughput(); err != nil {
+				return err
+			}
+			if err := runDiskQPS(); err != nil {
 				return err
 			}
 		default:
@@ -191,19 +206,6 @@ func fmtDur(d time.Duration) string {
 		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
 	default:
 		return fmt.Sprintf("%.2fs", d.Seconds())
-	}
-}
-
-func fmtBytes(b int64) string {
-	switch {
-	case b <= 0:
-		return "-"
-	case b < 1<<20:
-		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
-	case b < 1<<30:
-		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
-	default:
-		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
 	}
 }
 
@@ -304,7 +306,7 @@ func runPerf() error {
 				row.mcBytes = mcIx.Bytes() + g.Bytes()
 			}
 		} else {
-			fmt.Fprintf(os.Stderr, "  mc skipped: index would exceed %s (as in the paper)\n", fmtBytes(*mcCapFlag))
+			fmt.Fprintf(os.Stderr, "  mc skipped: index would exceed %s (as in the paper)\n", humanize.Bytes(*mcCapFlag))
 		}
 
 		// Figure 1: single-pair latency.
@@ -387,7 +389,7 @@ func runPerf() error {
 	w = newTab()
 	fmt.Fprintln(w, "dataset\tSLING\tLinearize\tMC")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.name, fmtBytes(r.slingBytes), fmtBytes(r.linBytes), fmtBytes(r.mcBytes))
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", r.name, humanize.Bytes(r.slingBytes), humanize.Bytes(r.linBytes), humanize.Bytes(r.mcBytes))
 	}
 	w.Flush()
 	fmt.Println()
@@ -676,7 +678,7 @@ func runAblation() error {
 		tFull, _ := timeBox(len(pairs), 5*time.Second, func(i int) { full.SimRank(pairs[i].U, pairs[i].V, sF) })
 		tRed, _ := timeBox(len(pairs), 5*time.Second, func(i int) { red.SimRank(pairs[i].U, pairs[i].V, sR) })
 		fmt.Printf("space reduction (5.2):    off %s / %s per query   on %s / %s per query\n",
-			fmtBytes(full.Bytes()), fmtDur(tFull), fmtBytes(red.Bytes()), fmtDur(tRed))
+			humanize.Bytes(full.Bytes()), fmtDur(tFull), humanize.Bytes(red.Bytes()), fmtDur(tRed))
 
 		// 5.3: enhancement on/off accuracy.
 		enh, err := core.Build(g, &core.Options{Eps: 0.05, Seed: *seedFlag, Enhance: true})
@@ -707,7 +709,7 @@ func runAblation() error {
 		t3, _ := timeBox(len(sources), 5*time.Second, func(i int) { red.SingleSourceNaive(sources[i], sR, out) })
 		tIV, _ := timeBox(len(sources), 5*time.Second, func(i int) { iv.SingleSource(sources[i], sR, out) })
 		fmt.Printf("single-source:            Alg6 %s   Alg3-loop %s (%.1fx)   inverted lists %s (+%s space)\n",
-			fmtDur(t6), fmtDur(t3), float64(t3)/float64(t6), fmtDur(tIV), fmtBytes(iv.Bytes()))
+			fmtDur(t6), fmtDur(t3), float64(t3)/float64(t6), fmtDur(tIV), humanize.Bytes(iv.Bytes()))
 	}
 	fmt.Println()
 	return nil
@@ -794,6 +796,155 @@ func runThroughput() error {
 	w.Flush()
 	fmt.Println()
 	return nil
+}
+
+// --------------------------------------------------------------- diskqps
+
+// runDiskQPS measures the disk-resident serving tier (Section 5.4):
+// single-pair QPS as concurrent query goroutines scale, at each
+// -caches entry-cache size. Before this engine existed, disk queries
+// went through one global mutex, so QPS was flat in goroutine count;
+// this experiment is the evidence that the pooled, cached path scales.
+func runDiskQPS() error {
+	def := []workload.Spec{}
+	for _, name := range []string{"GrQc", "Wiki-Vote"} {
+		s, ok := workload.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown default dataset %q", name)
+		}
+		def = append(def, s)
+	}
+	specs, err := selectDatasets(def)
+	if err != nil {
+		return err
+	}
+	slingOpt, _, _, err := params(*presetFlag)
+	if err != nil {
+		return err
+	}
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		return err
+	}
+	var caches []float64
+	for _, c := range strings.Split(*cachesFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(c), 64)
+		if err != nil {
+			return fmt.Errorf("bad cache size %q", c)
+		}
+		caches = append(caches, v)
+	}
+	fmt.Printf("== Disk QPS: disk-resident single-pair queries vs goroutines and cache (preset %s, scale %g) ==\n",
+		*presetFlag, *scaleFlag)
+	fmt.Println("   (cache rows are pre-warmed; speedup is relative to the first -threads entry)")
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tcache\tworkers\tqueries\ttotal\tqueries/s\tspeedup\thit rate")
+	for _, spec := range specs {
+		g := spec.Generate(*scaleFlag)
+		ix, err := core.Build(g, &slingOpt)
+		if err != nil {
+			return fmt.Errorf("%s: build: %w", spec.Name, err)
+		}
+		dir, err := os.MkdirTemp("", "slingbench-diskqps")
+		if err != nil {
+			return err
+		}
+		path := dir + "/index.slix"
+		if err := ix.SaveFile(path); err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		pairs := workload.RandomPairs(g, 4096, *seedFlag+17)
+		for _, mib := range caches {
+			d, err := core.OpenDiskIndex(path, g)
+			if err != nil {
+				os.RemoveAll(dir)
+				return err
+			}
+			cacheBytes := int64(mib * (1 << 20))
+			if cacheBytes > 0 {
+				d.EnableCache(cacheBytes)
+			}
+			pool := d.NewScratchPool()
+			// Warm the cache over the full query set before any timed
+			// cell, so every thread count measures the same steady state
+			// and the speedup column reflects concurrency, not the first
+			// cell paying the cold misses for the later ones.
+			if cacheBytes > 0 {
+				if _, _, err := diskPairRun(pool, pairs, len(pairs), 1); err != nil {
+					d.Close()
+					os.RemoveAll(dir)
+					return err
+				}
+			}
+			var serial time.Duration
+			for _, th := range threads {
+				before := d.CacheStats()
+				total, elapsed, err := diskPairRun(pool, pairs, *diskOpsFlag, th)
+				if err != nil {
+					d.Close()
+					os.RemoveAll(dir)
+					return err
+				}
+				after := d.CacheStats()
+				if th == threads[0] {
+					serial = elapsed
+				}
+				hit := "-"
+				if looked := (after.Hits - before.Hits) + (after.Misses - before.Misses); looked > 0 {
+					hit = fmt.Sprintf("%.0f%%", 100*float64(after.Hits-before.Hits)/float64(looked))
+				}
+				cacheCol := "off"
+				if cacheBytes > 0 {
+					cacheCol = humanize.Bytes(cacheBytes)
+				}
+				fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%.0f\t%.2fx\t%s\n",
+					spec.Name, cacheCol, th, total, fmtDur(elapsed),
+					float64(total)/elapsed.Seconds(), float64(serial)/float64(elapsed), hit)
+				w.Flush()
+			}
+			d.Close()
+		}
+		os.RemoveAll(dir)
+	}
+	fmt.Println()
+	return nil
+}
+
+// diskPairRun fires count single-pair disk queries across workers
+// goroutines pulling from a shared atomic counter, and returns how many
+// ran and the wall time.
+func diskPairRun(pool *core.DiskScratchPool, pairs []workload.Pair, count, workers int) (int, time.Duration, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
+				p := pairs[i%len(pairs)]
+				if _, err := pool.SimRank(p.U, p.V); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if ep := firstErr.Load(); ep != nil {
+		return 0, 0, *ep
+	}
+	return count, elapsed, nil
 }
 
 // fullSortTop is the pre-heap top-k baseline: materialize every positive

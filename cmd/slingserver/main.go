@@ -3,6 +3,12 @@
 // at startup.
 //
 //	slingserver -graph g.txt [-undirected] [-index idx.sling] [-eps 0.025] [-addr :8080] [-batch-workers N]
+//	slingserver -graph g.txt -index idx.sling -disk [-cache-bytes N]
+//
+// With -disk the index file stays on disk (Section 5.4): only O(n)
+// metadata is memory-resident, queries fetch HP entries with concurrent
+// positioned reads over pooled scratch, and -cache-bytes bounds a
+// sharded LRU cache of decoded entries so hot nodes skip I/O.
 //
 // Endpoints (JSON): GET /simrank?u=&v=  /source?u=[&limit=]  /topk?u=&k=
 // /stats  /healthz, plus POST /batch accepting a JSON array of
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"sling"
+	"sling/internal/humanize"
 	"sling/internal/server"
 )
 
@@ -33,10 +40,17 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	batchWorkers := flag.Int("batch-workers", 0, "concurrent ops per /batch request (default GOMAXPROCS)")
 	maxBatchOps := flag.Int("max-batch-ops", 0, "max ops per /batch request (default 4096)")
+	disk := flag.Bool("disk", false, "serve disk-resident from -index: only O(n) metadata in memory")
+	cacheBytes := flag.Int64("cache-bytes", 0, "entry-cache budget for -disk mode (0 = no cache)")
 	flag.Parse()
 
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "slingserver: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *disk && *indexPath == "" {
+		fmt.Fprintln(os.Stderr, "slingserver: -disk requires -index (build one with slingtool)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -46,29 +60,49 @@ func main() {
 	}
 	log.Printf("graph: n=%d m=%d", g.NumNodes(), g.NumEdges())
 
-	var ix *sling.Index
-	if *indexPath != "" {
-		ix, err = sling.Open(*indexPath, g)
+	cfg := server.Config{
+		BatchWorkers: *batchWorkers,
+		MaxBatchOps:  *maxBatchOps,
+	}
+	var handler http.Handler
+	if *disk {
+		di, err := sling.OpenDiskWithOptions(*indexPath, g, &sling.DiskOptions{CacheBytes: *cacheBytes})
 		if err != nil {
-			log.Fatalf("opening index: %v", err)
+			log.Fatalf("opening disk index: %v", err)
 		}
-		log.Printf("index loaded from %s (%d entries)", *indexPath, ix.Stats().Entries)
+		defer di.Close()
+		log.Printf("disk index %s: %d entries on disk, %s resident, cache budget %d bytes",
+			*indexPath, di.NumEntries(), humanize.Bytes(di.Bytes()), *cacheBytes)
+		handler, err = server.NewDisk(di, labels, cfg)
+		if err != nil {
+			log.Fatalf("creating server: %v", err)
+		}
 	} else {
-		start := time.Now()
-		ix, err = sling.Build(g, &sling.Options{Eps: *eps, Workers: *workers, Seed: *seed})
-		if err != nil {
-			log.Fatalf("building index: %v", err)
+		var ix *sling.Index
+		if *indexPath != "" {
+			ix, err = sling.Open(*indexPath, g)
+			if err != nil {
+				log.Fatalf("opening index: %v", err)
+			}
+			log.Printf("index loaded from %s (%d entries)", *indexPath, ix.Stats().Entries)
+		} else {
+			start := time.Now()
+			ix, err = sling.Build(g, &sling.Options{Eps: *eps, Workers: *workers, Seed: *seed})
+			if err != nil {
+				log.Fatalf("building index: %v", err)
+			}
+			log.Printf("index built in %v (%d entries, error bound %.4g)",
+				time.Since(start).Round(time.Millisecond), ix.Stats().Entries, ix.ErrorBound())
 		}
-		log.Printf("index built in %v (%d entries, error bound %.4g)",
-			time.Since(start).Round(time.Millisecond), ix.Stats().Entries, ix.ErrorBound())
+		handler, err = server.NewWithConfig(ix, labels, cfg)
+		if err != nil {
+			log.Fatalf("creating server: %v", err)
+		}
 	}
 
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler: server.NewWithConfig(ix, labels, server.Config{
-			BatchWorkers: *batchWorkers,
-			MaxBatchOps:  *maxBatchOps,
-		}),
+		Handler:      handler,
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"sling"
+	"sling/internal/humanize"
 )
 
 func main() {
@@ -105,7 +106,7 @@ func cmdBuild(args []string) error {
 		return err
 	}
 	fmt.Printf("built in %v: %d HP entries, %s in memory, guaranteed error <= %.4g\n",
-		time.Since(start).Round(time.Millisecond), ix.Stats().Entries, fmtBytes(ix.Bytes()), ix.ErrorBound())
+		time.Since(start).Round(time.Millisecond), ix.Stats().Entries, humanize.Bytes(ix.Bytes()), ix.ErrorBound())
 	if err := ix.Save(*out); err != nil {
 		return err
 	}
@@ -135,7 +136,7 @@ func cmdStats(args []string) error {
 	fmt.Printf("deepest step:     %d\n", st.MaxStep)
 	fmt.Printf("space-reduced:    %d nodes\n", st.ReducedNodes)
 	fmt.Printf("marked entries:   %d\n", st.MarkedEntries)
-	fmt.Printf("memory:           %s (graph adds %s)\n", fmtBytes(st.Bytes), fmtBytes(g.Bytes()))
+	fmt.Printf("memory:           %s (graph adds %s)\n", humanize.Bytes(st.Bytes), humanize.Bytes(g.Bytes()))
 	fmt.Printf("error bound:      %.4g\n", ix.ErrorBound())
 	return nil
 }
@@ -251,15 +252,4 @@ func cmdSource(args []string) error {
 		fmt.Printf("  %d\t%.6f\n", labels[s.v], s.score)
 	}
 	return nil
-}
-
-func fmtBytes(b int64) string {
-	switch {
-	case b < 1<<20:
-		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
-	case b < 1<<30:
-		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
-	default:
-		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
-	}
 }

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EntryCache is a sharded LRU cache of decoded per-node HP entry lists
+// for the disk-resident index. Disk queries over real workloads are
+// heavily skewed — a few hub nodes appear in most pairs — so keeping the
+// hot H(v) lists decoded in memory turns their two preads per query into
+// zero. Sharding by node ID keeps lock hold times to a single list
+// splice, so the cache itself never serializes concurrent queries the
+// way the old facade-level mutex did.
+//
+// Cached slices are handed out by reference and must be treated as
+// read-only, which matches how the query path consumes stored entries
+// (gatherFrom never mutates its inputs).
+type EntryCache struct {
+	shards [cacheShardCount]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+const cacheShardCount = 16
+
+// cacheEntryOverhead approximates the bookkeeping bytes per cached node
+// (struct header, map slot, slice headers) on top of the 16 bytes per
+// entry, so the byte budget tracks real memory, not just payload.
+const cacheEntryOverhead = 96
+
+type cacheShard struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	m        map[int32]*cacheNode
+	// Intrusive LRU list: head is most recently used, tail next to evict.
+	head, tail *cacheNode
+}
+
+type cacheNode struct {
+	node       int32
+	keys       []uint64
+	vals       []float64
+	bytes      int64
+	prev, next *cacheNode
+}
+
+// minShardBytes floors each shard's budget so that any positive cache
+// request yields a functional cache (~64 KiB total at 16 shards) rather
+// than silently disabling caching for small -cache-bytes values.
+const minShardBytes = 4096
+
+// NewEntryCache returns a cache bounded by maxBytes across all shards,
+// or nil when maxBytes <= 0 (callers treat a nil cache as "caching
+// disabled"). Positive budgets below 16*minShardBytes are rounded up to
+// that floor so a small budget degrades to a small cache, never to a
+// silent no-op.
+func NewEntryCache(maxBytes int64) *EntryCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	perShard := maxBytes / cacheShardCount
+	if perShard < minShardBytes {
+		perShard = minShardBytes
+	}
+	c := &EntryCache{}
+	for i := range c.shards {
+		c.shards[i].maxBytes = perShard
+		c.shards[i].m = make(map[int32]*cacheNode)
+	}
+	return c
+}
+
+func (c *EntryCache) shard(v int32) *cacheShard {
+	return &c.shards[uint32(v)%cacheShardCount]
+}
+
+// Get returns node v's cached entries, promoting it to most recently
+// used. The returned slices are read-only.
+func (c *EntryCache) Get(v int32) ([]uint64, []float64, bool) {
+	s := c.shard(v)
+	s.mu.Lock()
+	e, ok := s.m[v]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, nil, false
+	}
+	s.moveToFront(e)
+	keys, vals := e.keys, e.vals
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return keys, vals, true
+}
+
+// Put caches a copy of node v's entries, evicting least-recently-used
+// nodes from the shard until it fits. Entries larger than the shard
+// budget are not cached at all.
+func (c *EntryCache) Put(v int32, keys []uint64, vals []float64) {
+	size := int64(len(keys))*16 + cacheEntryOverhead
+	s := c.shard(v)
+	if size > s.maxBytes {
+		return
+	}
+	// Copy outside the lock: the source buffers are per-query scratch.
+	e := &cacheNode{
+		node:  v,
+		keys:  append([]uint64(nil), keys...),
+		vals:  append([]float64(nil), vals...),
+		bytes: size,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[v]; ok {
+		// Another goroutine cached v first; just refresh its recency.
+		s.moveToFront(old)
+		return
+	}
+	for s.bytes+size > s.maxBytes && s.tail != nil {
+		s.remove(s.tail)
+	}
+	s.m[v] = e
+	s.bytes += size
+	s.pushFront(e)
+}
+
+func (s *cacheShard) pushFront(e *cacheNode) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *cacheNode) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *cacheNode) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *cacheShard) remove(e *cacheNode) {
+	s.unlink(e)
+	delete(s.m, e.node)
+	s.bytes -= e.bytes
+}
+
+// CacheStats is a point-in-time summary of an EntryCache.
+type CacheStats struct {
+	Hits     int64
+	Misses   int64
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+}
+
+// Stats sums counters and occupancy across shards.
+func (c *EntryCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.m)
+		st.Bytes += s.bytes
+		st.MaxBytes += s.maxBytes
+		s.mu.Unlock()
+	}
+	return st
+}

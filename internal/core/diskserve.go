@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sling/internal/graph"
+)
+
+// Concurrent serving over the disk-resident index (Section 5.4).
+//
+// os.File.ReadAt is goroutine-safe, so DiskIndex queries need no global
+// lock — only per-goroutine scratch, which DiskScratchPool hands out
+// from sync.Pools exactly like ScratchPool does for the in-memory index.
+// The higher-level shapes the serving layer needs (top-k, source-top,
+// batched single-source) are built here from the same primitives as the
+// in-memory ones, so disk answers are byte-identical to memory answers.
+
+// TopK returns the k nodes most similar to u (excluding u itself) in
+// descending score order, from one disk single-source evaluation and a
+// size-k heap selection. vec is the score buffer to compute into
+// (allocated when it lacks capacity); nil scratches allocate.
+func (d *DiskIndex) TopK(u graph.NodeID, k int, s *DiskScratch, ss *SourceScratch, vec []float64) ([]TopEntry, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	scores, err := d.SingleSource(u, s, ss, vec)
+	if err != nil {
+		return nil, err
+	}
+	return SelectTop(scores, k, u), nil
+}
+
+// SourceTop returns the limit highest-scoring nodes for source u (u
+// itself included, unlike TopK) in descending score order, ties broken
+// by ascending node ID.
+func (d *DiskIndex) SourceTop(u graph.NodeID, limit int, s *DiskScratch, ss *SourceScratch, vec []float64) ([]TopEntry, error) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	scores, err := d.SingleSource(u, s, ss, vec)
+	if err != nil {
+		return nil, err
+	}
+	return SelectTop(scores, limit, -1), nil
+}
+
+// SingleSourceBatch answers one single-source query per source in us,
+// fanned across workers goroutines (GOMAXPROCS-style caller default:
+// workers <= 0 means 1) with per-worker scratch, mirroring the in-memory
+// Index.SingleSourceBatch. Row i equals SingleSource(us[i], ...) exactly
+// at any worker count. The first I/O error aborts the batch.
+func (d *DiskIndex) SingleSourceBatch(us []graph.NodeID, workers int) ([][]float64, error) {
+	n := d.meta.g.NumNodes()
+	out := make([][]float64, len(us))
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(us) {
+		workers = len(us)
+	}
+	if workers <= 1 {
+		s := d.NewScratch()
+		ss := d.meta.NewSourceScratch()
+		for i, u := range us {
+			row, err := d.SingleSource(u, s, ss, make([]float64, n))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = row
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := d.NewScratch()
+			ss := d.meta.NewSourceScratch()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(us) || firstErr.Load() != nil {
+					return
+				}
+				row, err := d.SingleSource(us[i], s, ss, make([]float64, n))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+				out[i] = row
+			}
+		}()
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return nil, *ep
+	}
+	return out, nil
+}
+
+// DiskScratchPool hands out per-goroutine DiskIndex query buffers from
+// sync.Pools, the disk counterpart of ScratchPool: a serving layer can
+// run disk queries at arbitrary concurrency without allocating scratch
+// per call and without any global lock.
+type DiskScratchPool struct {
+	d       *DiskIndex
+	scratch sync.Pool // *DiskScratch
+	source  sync.Pool // *SourceScratch
+	vec     sync.Pool // *[]float64, len = NumNodes
+}
+
+// NewScratchPool returns a pool of query scratch for the disk index.
+func (d *DiskIndex) NewScratchPool() *DiskScratchPool {
+	p := &DiskScratchPool{d: d}
+	p.scratch.New = func() interface{} { return d.NewScratch() }
+	p.source.New = func() interface{} { return d.meta.NewSourceScratch() }
+	p.vec.New = func() interface{} {
+		v := make([]float64, d.meta.g.NumNodes())
+		return &v
+	}
+	return p
+}
+
+// SimRank is DiskIndex.SimRank with pooled scratch.
+func (p *DiskScratchPool) SimRank(u, v graph.NodeID) (float64, error) {
+	s := p.scratch.Get().(*DiskScratch)
+	score, err := p.d.SimRank(u, v, s)
+	p.scratch.Put(s)
+	return score, err
+}
+
+// SingleSource is DiskIndex.SingleSource with pooled scratch, writing
+// into out when it has capacity.
+func (p *DiskScratchPool) SingleSource(u graph.NodeID, out []float64) ([]float64, error) {
+	s := p.scratch.Get().(*DiskScratch)
+	ss := p.source.Get().(*SourceScratch)
+	res, err := p.d.SingleSource(u, s, ss, out)
+	p.source.Put(ss)
+	p.scratch.Put(s)
+	return res, err
+}
+
+// TopK is DiskIndex.TopK with pooled scratch and score vector; only the
+// k-element result is allocated.
+func (p *DiskScratchPool) TopK(u graph.NodeID, k int) ([]TopEntry, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	s := p.scratch.Get().(*DiskScratch)
+	ss := p.source.Get().(*SourceScratch)
+	vec := p.vec.Get().(*[]float64)
+	top, err := p.d.TopK(u, k, s, ss, *vec)
+	p.vec.Put(vec)
+	p.source.Put(ss)
+	p.scratch.Put(s)
+	return top, err
+}
+
+// SourceTop is DiskIndex.SourceTop with pooled scratch and score vector.
+func (p *DiskScratchPool) SourceTop(u graph.NodeID, limit int) ([]TopEntry, error) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	s := p.scratch.Get().(*DiskScratch)
+	ss := p.source.Get().(*SourceScratch)
+	vec := p.vec.Get().(*[]float64)
+	top, err := p.d.SourceTop(u, limit, s, ss, *vec)
+	p.vec.Put(vec)
+	p.source.Put(ss)
+	p.scratch.Put(s)
+	return top, err
+}

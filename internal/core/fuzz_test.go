@@ -31,6 +31,15 @@ func FuzzReadIndex(f *testing.F) {
 	corrupted := append([]byte(nil), valid...)
 	corrupted[50] ^= 0xff
 	f.Add(corrupted)
+	// A structurally valid file whose first mark is out of range: the
+	// marks bounds check must reject it rather than let queries index
+	// past a node's entries. (The corpus index was built with Enhance,
+	// so the marks region is non-empty.)
+	badMark := append([]byte(nil), valid...)
+	if off := marksRegionOffset(20); off+4 <= len(badMark) {
+		badMark[off], badMark[off+1], badMark[off+2], badMark[off+3] = 0xff, 0xff, 0xff, 0x7f
+	}
+	f.Add(badMark)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// nil graph skips only the node-count cross-check; all structural
 		// validation still runs.

@@ -235,6 +235,11 @@ func readMeta(r io.Reader, g *graph.Graph) (*Index, int64, int64, error) {
 	if x.markOff[0] != 0 || x.markOff[n] != numMarks {
 		return nil, 0, 0, errors.New("core: corrupt mark offset table")
 	}
+	for v := 0; v < n; v++ {
+		if x.markOff[v] > x.markOff[v+1] {
+			return nil, 0, 0, errors.New("core: non-monotone mark offset table")
+		}
+	}
 	marks32, err := readChunkedU32(r, numMarks, "marks")
 	if err != nil {
 		return nil, 0, 0, err
@@ -242,6 +247,18 @@ func readMeta(r io.Reader, g *graph.Graph) (*Index, int64, int64, error) {
 	x.marks = make([]int32, numMarks)
 	for i, b := range marks32 {
 		x.marks[i] = int32(b)
+	}
+	// Marks are positions into the owning node's stored entry range; an
+	// out-of-range mark would panic the Section 5.3 expansion at query
+	// time, so reject it at load like graph.ReadBinary does for edge
+	// targets.
+	for v := 0; v < n; v++ {
+		cnt := x.off[v+1] - x.off[v]
+		for _, rel := range x.marks[x.markOff[v]:x.markOff[v+1]] {
+			if int64(rel) < 0 || int64(rel) >= cnt {
+				return nil, 0, 0, fmt.Errorf("core: mark %d of node %d out of range [0,%d)", rel, v, cnt)
+			}
+		}
 	}
 	entriesOff := int64(92) + int64(8*n) + int64(len(bitmap)) + 2*int64(8*(n+1)) + 4*numMarks
 	return x, entriesOff, numEntries, nil
@@ -343,6 +360,8 @@ type DiskIndex struct {
 	meta       *Index
 	f          *os.File
 	entriesOff int64
+	numEntries int64
+	cache      *EntryCache
 }
 
 // OpenDiskIndex memory-maps nothing and loads only metadata from path.
@@ -369,7 +388,7 @@ func OpenDiskIndex(path string, g *graph.Graph) (*DiskIndex, error) {
 		return nil, fmt.Errorf("core: index file size %d does not match header (want %d)",
 			st.Size(), entriesOff+numEntries*16)
 	}
-	return &DiskIndex{meta: meta, f: f, entriesOff: entriesOff}, nil
+	return &DiskIndex{meta: meta, f: f, entriesOff: entriesOff, numEntries: numEntries}, nil
 }
 
 // Close releases the underlying file.
@@ -377,6 +396,18 @@ func (d *DiskIndex) Close() error { return d.f.Close() }
 
 // Meta exposes the O(n) in-memory part (graph, parameters, d̃, stats).
 func (d *DiskIndex) Meta() *Index { return d.meta }
+
+// NumEntries returns the number of HP entries in the on-disk region.
+func (d *DiskIndex) NumEntries() int64 { return d.numEntries }
+
+// EnableCache attaches a sharded LRU cache of decoded entry lists,
+// bounded by maxBytes, so hot nodes skip the pread entirely. Call before
+// serving; it is not safe to swap the cache mid-query.
+func (d *DiskIndex) EnableCache(maxBytes int64) { d.cache = NewEntryCache(maxBytes) }
+
+// CacheStats reports entry-cache hit/miss/occupancy counters (zero
+// values when no cache is enabled).
+func (d *DiskIndex) CacheStats() CacheStats { return d.cache.Stats() }
 
 // DiskScratch holds per-query buffers for DiskIndex queries.
 type DiskScratch struct {
@@ -393,8 +424,16 @@ func (d *DiskIndex) NewScratch() *DiskScratch {
 	return &DiskScratch{q: d.meta.NewScratch()}
 }
 
-// fetch reads node v's stored entries from disk into the given buffers.
+// fetch reads node v's stored entries from disk into the given buffers,
+// consulting (and on miss, populating) the entry cache when one is
+// enabled. Cache hits return cache-owned slices; both paths hand the
+// caller a read-only view.
 func (d *DiskIndex) fetch(v graph.NodeID, s *DiskScratch, keys *[]uint64, vals *[]float64) ([]uint64, []float64, error) {
+	if d.cache != nil {
+		if k, val, ok := d.cache.Get(int32(v)); ok {
+			return k, val, nil
+		}
+	}
 	lo, hi := d.meta.off[v], d.meta.off[v+1]
 	cnt := int(hi - lo)
 	need := cnt * 16
@@ -412,6 +451,9 @@ func (d *DiskIndex) fetch(v graph.NodeID, s *DiskScratch, keys *[]uint64, vals *
 		val = append(val, math.Float64frombits(le.Uint64(raw[16*i+8:])))
 	}
 	*keys, *vals = k, val
+	if d.cache != nil {
+		d.cache.Put(int32(v), k, val)
+	}
 	return k, val, nil
 }
 

@@ -1,0 +1,21 @@
+// Package humanize renders byte counts for CLI and log output. It
+// exists so the cmd binaries share one formatter instead of drifting
+// copies.
+package humanize
+
+import "fmt"
+
+// Bytes renders b as KB/MB/GB with one or two decimals. Non-positive
+// values render as "-" (the CLIs' marker for "not measured").
+func Bytes(b int64) string {
+	switch {
+	case b <= 0:
+		return "-"
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	}
+}

@@ -1,0 +1,20 @@
+package humanize
+
+import "testing"
+
+func TestBytes(t *testing.T) {
+	for _, tc := range []struct {
+		in   int64
+		want string
+	}{
+		{0, "-"},
+		{-5, "-"},
+		{512, "0.5KB"},
+		{1 << 20, "1.0MB"},
+		{3 << 30, "3.00GB"},
+	} {
+		if got := Bytes(tc.in); got != tc.want {
+			t.Errorf("Bytes(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

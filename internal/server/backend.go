@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sling"
+)
+
+// backend abstracts the index the server queries, so the same endpoint
+// surface serves either the fully in-memory index or the Section 5.4
+// disk-resident one. In-memory queries cannot fail, so the memory
+// adapter always returns nil errors; the disk adapter surfaces I/O
+// errors, which handlers map to 500s.
+type backend interface {
+	SimRank(u, v sling.NodeID) (float64, error)
+	SingleSource(u sling.NodeID) ([]float64, error)
+	SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error)
+	TopK(u sling.NodeID, k int) ([]sling.Scored, error)
+	NumNodes() int
+	Stats() map[string]interface{}
+}
+
+// memBackend serves from a fully in-memory index.
+type memBackend struct {
+	ix *sling.Index
+}
+
+func (b memBackend) SimRank(u, v sling.NodeID) (float64, error) { return b.ix.SimRank(u, v), nil }
+
+func (b memBackend) SingleSource(u sling.NodeID) ([]float64, error) {
+	return b.ix.SingleSource(u, nil), nil
+}
+
+func (b memBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
+	return b.ix.SourceTop(u, limit), nil
+}
+
+func (b memBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
+	return b.ix.TopK(u, k), nil
+}
+
+func (b memBackend) NumNodes() int { return b.ix.Graph().NumNodes() }
+
+func (b memBackend) Stats() map[string]interface{} {
+	st := b.ix.Stats()
+	g := b.ix.Graph()
+	return map[string]interface{}{
+		"mode":         "memory",
+		"nodes":        g.NumNodes(),
+		"edges":        g.NumEdges(),
+		"entries":      st.Entries,
+		"avg_entries":  st.AvgEntries,
+		"max_entries":  st.MaxEntries,
+		"index_bytes":  st.Bytes,
+		"graph_bytes":  g.Bytes(),
+		"error_bound":  b.ix.ErrorBound(),
+		"decay_factor": b.ix.C(),
+	}
+}
+
+// diskBackend serves from a disk-resident index (pooled scratch, shared
+// entry cache); only O(n) metadata is memory-resident.
+type diskBackend struct {
+	di *sling.DiskIndex
+}
+
+func (b diskBackend) SimRank(u, v sling.NodeID) (float64, error) { return b.di.SimRank(u, v) }
+
+func (b diskBackend) SingleSource(u sling.NodeID) ([]float64, error) {
+	return b.di.SingleSource(u, nil)
+}
+
+func (b diskBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
+	return b.di.SourceTop(u, limit)
+}
+
+func (b diskBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
+	return b.di.TopK(u, k)
+}
+
+func (b diskBackend) NumNodes() int { return b.di.Graph().NumNodes() }
+
+func (b diskBackend) Stats() map[string]interface{} {
+	g := b.di.Graph()
+	cs := b.di.CacheStats()
+	return map[string]interface{}{
+		"mode":           "disk",
+		"nodes":          g.NumNodes(),
+		"edges":          g.NumEdges(),
+		"entries":        b.di.NumEntries(),
+		"resident_bytes": b.di.Bytes(),
+		"graph_bytes":    g.Bytes(),
+		"error_bound":    b.di.ErrorBound(),
+		"decay_factor":   b.di.C(),
+		"cache": map[string]interface{}{
+			"hits":      cs.Hits,
+			"misses":    cs.Misses,
+			"entries":   cs.Entries,
+			"bytes":     cs.Bytes,
+			"max_bytes": cs.MaxBytes,
+		},
+	}
+}

@@ -115,9 +115,13 @@ func (s *Server) runOp(op BatchOp) interface{} {
 		if err != nil {
 			return fail(err)
 		}
+		score, err := s.be.SimRank(u, v)
+		if err != nil {
+			return fail(err)
+		}
 		return map[string]interface{}{
 			"op": op.Op, "u": s.label(u), "v": s.label(v),
-			"score": s.ix.SimRank(u, v),
+			"score": score,
 		}
 	case "source":
 		limit := -1
@@ -127,9 +131,13 @@ func (s *Server) runOp(op BatchOp) interface{} {
 			}
 			limit = *op.Limit
 		}
+		scores, err := s.sourceScores(u, limit)
+		if err != nil {
+			return fail(err)
+		}
 		return map[string]interface{}{
 			"op": op.Op, "u": s.label(u),
-			"scores": s.sourceScores(u, limit),
+			"scores": scores,
 		}
 	case "topk":
 		k := 10
@@ -140,9 +148,13 @@ func (s *Server) runOp(op BatchOp) interface{} {
 			}
 			k = *op.K
 		}
+		top, err := s.be.TopK(u, k)
+		if err != nil {
+			return fail(err)
+		}
 		return map[string]interface{}{
 			"op": op.Op, "u": s.label(u),
-			"results": s.scored(s.ix.TopK(u, k)),
+			"results": s.scored(top),
 		}
 	default:
 		return fail(fmt.Errorf("unknown op %q (want simrank|source|topk)", op.Op))
@@ -162,8 +174,8 @@ func (s *Server) opNode(raw *int64, name string) (sling.NodeID, error) {
 		}
 		return id, nil
 	}
-	if *raw < 0 || *raw >= int64(s.ix.Graph().NumNodes()) {
-		return 0, fmt.Errorf("node %d out of range [0,%d)", *raw, s.ix.Graph().NumNodes())
+	if *raw < 0 || *raw >= int64(s.be.NumNodes()) {
+		return 0, fmt.Errorf("node %d out of range [0,%d)", *raw, s.be.NumNodes())
 	}
 	return sling.NodeID(*raw), nil
 }

@@ -1,7 +1,9 @@
 // Package server exposes a SLING index over HTTP with a small JSON API,
 // the deployment shape a similarity service would actually run: build (or
 // load) the index once, then serve single-pair, single-source, top-k and
-// batched queries concurrently over pooled scratch.
+// batched queries concurrently over pooled scratch. The index can be
+// fully in-memory (New) or disk-resident (NewDisk, Section 5.4 of the
+// paper): the endpoint surface is identical, only the backend differs.
 //
 // Endpoints:
 //
@@ -12,12 +14,15 @@
 //	GET  /stats                    -> index and graph statistics
 //	GET  /healthz                  -> 200 ok
 //
+// Non-GET methods on the GET endpoints are rejected with 405 and an
+// Allow header, mirroring what /batch does for non-POST.
+//
 // /source without a limit returns the full single-source score vector in
 // node order. With limit=L it returns the L highest-scoring nodes (u
 // itself included, typically first with s(u,u)=1) in descending score
 // order, ties broken by ascending node ID — the same deterministic order
 // /topk uses, selected with the same heap, not an arbitrary ID-order
-// prefix of the vector.
+// prefix of the vector. Score lists are always JSON arrays, never null.
 //
 // Node parameters use the graph's original labels when the server is
 // constructed with a label mapping, dense IDs otherwise.
@@ -49,47 +54,77 @@ const DefaultMaxBatchOps = 4096
 // Server routes HTTP queries to a SLING index. It is safe for concurrent
 // use; the underlying index pools query scratch internally.
 type Server struct {
-	ix     *sling.Index
+	be     backend
 	labels []int64                // dense ID -> original label; nil = identity
 	byLbl  map[int64]sling.NodeID // original label -> dense ID
 	mux    *http.ServeMux
 	cfg    Config
 }
 
-// New creates a Server over a built index with a default Config. labels
-// may be nil, in which case node parameters are dense IDs in
-// [0, NumNodes).
-func New(ix *sling.Index, labels []int64) *Server {
+// New creates a Server over a built in-memory index with a default
+// Config. labels may be nil, in which case node parameters are dense IDs
+// in [0, NumNodes).
+func New(ix *sling.Index, labels []int64) (*Server, error) {
 	return NewWithConfig(ix, labels, Config{})
 }
 
 // NewWithConfig is New with explicit tuning; zero Config fields take
-// their defaults.
-func NewWithConfig(ix *sling.Index, labels []int64, cfg Config) *Server {
+// their defaults. Duplicate labels are rejected: a mapping that silently
+// kept the last duplicate would route queries for the earlier node to
+// the wrong one.
+func NewWithConfig(ix *sling.Index, labels []int64, cfg Config) (*Server, error) {
+	return newServer(memBackend{ix: ix}, labels, cfg)
+}
+
+// NewDisk creates a Server over a disk-resident index (Section 5.4):
+// only O(n) metadata is memory-resident and queries read HP entries with
+// positioned preads, through the index's pooled scratch and optional
+// entry cache.
+func NewDisk(di *sling.DiskIndex, labels []int64, cfg Config) (*Server, error) {
+	return newServer(diskBackend{di: di}, labels, cfg)
+}
+
+func newServer(be backend, labels []int64, cfg Config) (*Server, error) {
 	if cfg.BatchWorkers <= 0 {
 		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.MaxBatchOps <= 0 {
 		cfg.MaxBatchOps = DefaultMaxBatchOps
 	}
-	s := &Server{ix: ix, labels: labels, cfg: cfg}
+	s := &Server{be: be, labels: labels, cfg: cfg}
 	if labels != nil {
 		s.byLbl = make(map[int64]sling.NodeID, len(labels))
 		for id, l := range labels {
+			if dup, ok := s.byLbl[l]; ok {
+				return nil, fmt.Errorf("server: duplicate label %d (nodes %d and %d)", l, dup, id)
+			}
 			s.byLbl[l] = sling.NodeID(id)
 		}
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/simrank", s.handleSimRank)
-	s.mux.HandleFunc("/source", s.handleSource)
-	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/simrank", s.getOnly(s.handleSimRank))
+	s.mux.HandleFunc("/source", s.getOnly(s.handleSource))
+	s.mux.HandleFunc("/topk", s.getOnly(s.handleTopK))
 	s.mux.HandleFunc("/batch", s.handleBatch)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc("/stats", s.getOnly(s.handleStats))
+	s.mux.HandleFunc("/healthz", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
-	})
-	return s
+	}))
+	return s, nil
+}
+
+// getOnly wraps a handler to reject non-GET/HEAD methods with 405 and an
+// Allow header, like /batch does for non-POST.
+func (s *Server) getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -116,8 +151,8 @@ func (s *Server) node(q string) (sling.NodeID, error) {
 		}
 		return id, nil
 	}
-	if raw < 0 || raw >= int64(s.ix.Graph().NumNodes()) {
-		return 0, fmt.Errorf("node %d out of range [0,%d)", raw, s.ix.Graph().NumNodes())
+	if raw < 0 || raw >= int64(s.be.NumNodes()) {
+		return 0, fmt.Errorf("node %d out of range [0,%d)", raw, s.be.NumNodes())
 	}
 	return sling.NodeID(raw), nil
 }
@@ -153,10 +188,15 @@ func (s *Server) handleSimRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	score, err := s.be.SimRank(u, v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	writeJSON(w, map[string]interface{}{
 		"u":     s.label(u),
 		"v":     s.label(v),
-		"score": s.ix.SimRank(u, v),
+		"score": score,
 	})
 }
 
@@ -175,26 +215,40 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = l
 	}
-	writeJSON(w, map[string]interface{}{"u": s.label(u), "scores": s.sourceScores(u, limit)})
+	scores, err := s.sourceScores(u, limit)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]interface{}{"u": s.label(u), "scores": scores})
 }
 
 // sourceScores computes the /source payload: the full score vector in
 // node order when limit is negative, otherwise the limit highest-scoring
 // nodes in descending score order (ties by ascending node ID), selected
-// with the size-limit heap rather than a full sort.
-func (s *Server) sourceScores(u sling.NodeID, limit int) []ScoredNode {
+// with the size-limit heap rather than a full sort. The result is never
+// nil, so it always encodes as a JSON array.
+func (s *Server) sourceScores(u sling.NodeID, limit int) ([]ScoredNode, error) {
 	if limit < 0 {
-		scores := s.ix.SingleSource(u, nil)
+		scores, err := s.be.SingleSource(u)
+		if err != nil {
+			return nil, err
+		}
 		out := make([]ScoredNode, len(scores))
 		for v, sc := range scores {
 			out[v] = ScoredNode{Node: s.label(sling.NodeID(v)), Score: sc}
 		}
-		return out
+		return out, nil
 	}
-	return s.scored(s.ix.SourceTop(u, limit))
+	top, err := s.be.SourceTop(u, limit)
+	if err != nil {
+		return nil, err
+	}
+	return s.scored(top), nil
 }
 
 // scored converts top-k results to response entries in external labels.
+// The result is never nil (a nil slice would encode as JSON null).
 func (s *Server) scored(top []sling.Scored) []ScoredNode {
 	out := make([]ScoredNode, len(top))
 	for i, t := range top {
@@ -217,21 +271,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, map[string]interface{}{"u": s.label(u), "results": s.scored(s.ix.TopK(u, k))})
+	top, err := s.be.TopK(u, k)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]interface{}{"u": s.label(u), "results": s.scored(top)})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.ix.Stats()
-	g := s.ix.Graph()
-	writeJSON(w, map[string]interface{}{
-		"nodes":        g.NumNodes(),
-		"edges":        g.NumEdges(),
-		"entries":      st.Entries,
-		"avg_entries":  st.AvgEntries,
-		"max_entries":  st.MaxEntries,
-		"index_bytes":  st.Bytes,
-		"graph_bytes":  g.Bytes(),
-		"error_bound":  s.ix.ErrorBound(),
-		"decay_factor": s.ix.C(),
-	})
+	writeJSON(w, s.be.Stats())
 }

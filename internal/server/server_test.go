@@ -24,7 +24,11 @@ func testServer(t *testing.T, labels []int64) (*Server, *sling.Index) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(ix, labels), ix
+	s, err := New(ix, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ix
 }
 
 func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]interface{}) {
@@ -318,7 +322,7 @@ func TestBatchMatchesSerialUnderConcurrentRequests(t *testing.T) {
 }
 
 func TestBatchErrors(t *testing.T) {
-	s, _ := testServer(t, nil)
+	s, ix := testServer(t, nil)
 
 	// Non-POST method.
 	rec := httptest.NewRecorder()
@@ -351,7 +355,10 @@ func TestBatchErrors(t *testing.T) {
 	}
 
 	// Oversized batches are rejected outright.
-	small := NewWithConfig(s.ix, nil, Config{MaxBatchOps: 2})
+	small, err := NewWithConfig(ix, nil, Config{MaxBatchOps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rec, _ := postBatch(t, small, `[{"op":"simrank","u":1,"v":2},{"op":"simrank","u":1,"v":2},{"op":"simrank","u":1,"v":2}]`); rec.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized batch status %d, want 413", rec.Code)
 	}
@@ -385,5 +392,157 @@ func TestBatchLabelMapping(t *testing.T) {
 	}
 	if results[1].(map[string]interface{})["error"] == nil {
 		t.Fatal("unknown label accepted in batch")
+	}
+}
+
+// Non-GET methods on the GET endpoints must 405 with an Allow header,
+// like /batch does for non-POST.
+func TestGetEndpointsRejectOtherMethods(t *testing.T) {
+	s, _ := testServer(t, nil)
+	for _, path := range []string{"/simrank?u=1&v=2", "/source?u=1", "/topk?u=1&k=3", "/stats", "/healthz"} {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest(method, path, strings.NewReader("{}")))
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s: status %d, want 405", method, path, rec.Code)
+			}
+			if allow := rec.Header().Get("Allow"); !strings.Contains(allow, "GET") {
+				t.Fatalf("%s %s: Allow header %q", method, path, allow)
+			}
+		}
+	}
+}
+
+// Duplicate labels would silently route one external label to the wrong
+// node; the constructor must reject them.
+func TestDuplicateLabelsRejected(t *testing.T) {
+	_, ix := testServer(t, nil)
+	labels := make([]int64, 40)
+	for i := range labels {
+		labels[i] = int64(1000 + i*10)
+	}
+	labels[7] = labels[3] // collide
+	if _, err := NewWithConfig(ix, labels, Config{}); err == nil {
+		t.Fatal("duplicate labels accepted")
+	}
+	labels[7] = 1070
+	if _, err := NewWithConfig(ix, labels, Config{}); err != nil {
+		t.Fatalf("distinct labels rejected: %v", err)
+	}
+}
+
+// Score lists must always encode as JSON arrays, never null — clients
+// iterate them without a null check.
+func TestEmptyScoreListsEncodeAsArrays(t *testing.T) {
+	s, _ := testServer(t, nil)
+	rec, _ := get(t, s, "/source?u=5&limit=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, `"scores":[]`) {
+		t.Fatalf("limit=0 scores not an empty array: %s", body)
+	}
+	rec2, _ := postBatch(t, s, `[{"op":"source","u":5,"limit":0}]`)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("batch status %d", rec2.Code)
+	}
+	if body := rec2.Body.String(); !strings.Contains(body, `"scores":[]`) {
+		t.Fatalf("batch limit=0 scores not an empty array: %s", body)
+	}
+}
+
+// diskServer builds the same index testServer uses, saves it, and serves
+// it disk-resident with an entry cache.
+func diskServer(t *testing.T, labels []int64) (*Server, *Server, *sling.Index) {
+	t.Helper()
+	mem, ix := testServer(t, labels)
+	path := t.TempDir() + "/index.sling"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	di, err := sling.OpenDiskWithOptions(path, ix.Graph(), &sling.DiskOptions{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { di.Close() })
+	disk, err := NewDisk(di, labels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return disk, mem, ix
+}
+
+// Every endpoint served disk-resident must answer exactly like the
+// in-memory server over the same index.
+func TestDiskServerMatchesMemoryServer(t *testing.T) {
+	disk, mem, _ := diskServer(t, nil)
+	for _, path := range []string{
+		"/simrank?u=3&v=7",
+		"/source?u=5&limit=4",
+		"/source?u=5",
+		"/topk?u=2&k=5",
+		"/source?u=5&limit=0",
+	} {
+		recD, _ := get(t, disk, path)
+		recM, _ := get(t, mem, path)
+		if recD.Code != http.StatusOK || recM.Code != http.StatusOK {
+			t.Fatalf("%s: disk %d mem %d", path, recD.Code, recM.Code)
+		}
+		if recD.Body.String() != recM.Body.String() {
+			t.Fatalf("%s: disk body %q != memory body %q", path, recD.Body.String(), recM.Body.String())
+		}
+	}
+	body := `[{"op":"simrank","u":3,"v":7},{"op":"topk","u":2,"k":5},{"op":"source","u":5,"limit":3}]`
+	recD, _ := postBatch(t, disk, body)
+	recM, _ := postBatch(t, mem, body)
+	if recD.Code != http.StatusOK {
+		t.Fatalf("disk batch status %d", recD.Code)
+	}
+	if recD.Body.String() != recM.Body.String() {
+		t.Fatalf("batch: disk %q != memory %q", recD.Body.String(), recM.Body.String())
+	}
+}
+
+// Disk-mode /stats must report the serving mode and cache counters.
+func TestDiskServerStats(t *testing.T) {
+	disk, _, _ := diskServer(t, nil)
+	// Warm the cache, then hit it.
+	get(t, disk, "/simrank?u=1&v=2")
+	get(t, disk, "/simrank?u=1&v=2")
+	rec, body := get(t, disk, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if body["mode"] != "disk" {
+		t.Fatalf("mode = %v, want disk", body["mode"])
+	}
+	cache, ok := body["cache"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("no cache stats in %v", body)
+	}
+	if cache["hits"].(float64) == 0 {
+		t.Fatalf("no cache hits recorded: %v", cache)
+	}
+	if body["entries"].(float64) == 0 {
+		t.Fatal("stats entries missing")
+	}
+}
+
+// Disk mode with label mapping end to end.
+func TestDiskServerLabelMapping(t *testing.T) {
+	labels := make([]int64, 40)
+	for i := range labels {
+		labels[i] = int64(1000 + i*10)
+	}
+	disk, _, ix := diskServer(t, labels)
+	rec, body := get(t, disk, "/simrank?u=1030&v=1070")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got, want := body["score"].(float64), ix.SimRank(3, 7); got != want {
+		t.Fatalf("label-mapped disk score %v, want %v", got, want)
+	}
+	if body["u"].(float64) != 1030 {
+		t.Fatal("disk response not in external labels")
 	}
 }

@@ -31,7 +31,7 @@ package sling
 
 import (
 	"io"
-	"sync"
+	"runtime"
 
 	"sling/internal/core"
 	"sling/internal/graph"
@@ -199,45 +199,106 @@ func ReadIndex(r io.Reader, g *Graph) (*Index, error) {
 	return wrap(x), nil
 }
 
-// DiskIndex answers single-pair queries against an index file whose HP
-// entries stay on disk; only O(n) metadata is memory-resident and each
-// query costs two positioned reads (Section 5.4 of the paper).
+// DiskIndex answers queries against an index file whose HP entries stay
+// on disk; only O(n) metadata is memory-resident and a single-pair query
+// costs two positioned reads (Section 5.4 of the paper). It is safe for
+// arbitrary concurrent use: positioned reads are goroutine-safe, query
+// scratch is pooled internally, and an optional sharded LRU entry cache
+// (DiskOptions.CacheBytes) lets hot nodes skip I/O entirely.
 type DiskIndex struct {
-	d  *core.DiskIndex
-	mu sync.Mutex
-	s  *core.DiskScratch
-	ss *core.SourceScratch
+	d       *core.DiskIndex
+	pool    *core.DiskScratchPool
+	workers int
 }
 
-// OpenDisk opens path for disk-resident querying.
+// DiskOptions tunes disk-resident serving beyond the defaults.
+type DiskOptions struct {
+	// CacheBytes bounds the in-memory entry cache (decoded H(v) lists for
+	// recently-read nodes). 0 disables caching; small positive budgets
+	// are rounded up to a ~64 KiB floor rather than silently disabling.
+	CacheBytes int64
+	// Workers bounds SingleSourceBatch fan-out. Default GOMAXPROCS.
+	Workers int
+}
+
+// DiskCacheStats reports entry-cache hit/miss/occupancy counters.
+type DiskCacheStats = core.CacheStats
+
+// OpenDisk opens path for disk-resident querying with default options
+// (no entry cache, GOMAXPROCS batch workers).
 func OpenDisk(path string, g *Graph) (*DiskIndex, error) {
+	return OpenDiskWithOptions(path, g, nil)
+}
+
+// OpenDiskWithOptions is OpenDisk with explicit tuning; a nil or zero
+// options value takes the defaults.
+func OpenDiskWithOptions(path string, g *Graph, o *DiskOptions) (*DiskIndex, error) {
 	d, err := core.OpenDiskIndex(path, g)
 	if err != nil {
 		return nil, err
 	}
-	return &DiskIndex{d: d, s: d.NewScratch()}, nil
+	di := &DiskIndex{d: d, pool: d.NewScratchPool(), workers: runtime.GOMAXPROCS(0)}
+	if o != nil {
+		if o.CacheBytes > 0 {
+			d.EnableCache(o.CacheBytes)
+		}
+		if o.Workers > 0 {
+			di.workers = o.Workers
+		}
+	}
+	return di, nil
 }
 
-// SimRank returns s̃(u, v) reading H(u) and H(v) from disk.
+// SimRank returns s̃(u, v) reading H(u) and H(v) from disk (or the entry
+// cache), with pooled scratch; safe for concurrent use.
 func (di *DiskIndex) SimRank(u, v NodeID) (float64, error) {
-	di.mu.Lock()
-	defer di.mu.Unlock()
-	return di.d.SimRank(u, v, di.s)
+	return di.pool.SimRank(u, v)
 }
 
 // SingleSource returns s̃(u, v) for every node v, reading H(u) from disk
 // with one positioned read and propagating in memory (Algorithm 6).
 func (di *DiskIndex) SingleSource(u NodeID, out []float64) ([]float64, error) {
-	di.mu.Lock()
-	defer di.mu.Unlock()
-	if di.ss == nil {
-		di.ss = di.d.Meta().NewSourceScratch()
-	}
-	return di.d.SingleSource(u, di.s, di.ss, out)
+	return di.pool.SingleSource(u, out)
 }
 
-// Bytes returns the memory-resident footprint (metadata only).
+// SingleSourceBatch answers one single-source query per source in us,
+// fanned across DiskOptions.Workers goroutines with per-worker scratch.
+// Row i equals SingleSource(us[i], nil) exactly, at any worker count.
+func (di *DiskIndex) SingleSourceBatch(us []NodeID) ([][]float64, error) {
+	return di.d.SingleSourceBatch(us, di.workers)
+}
+
+// TopK returns the k nodes most similar to u (excluding u itself) in
+// descending score order, selected with the same size-k heap as the
+// in-memory index over one disk single-source evaluation.
+func (di *DiskIndex) TopK(u NodeID, k int) ([]Scored, error) { return di.pool.TopK(u, k) }
+
+// SourceTop returns the limit highest-scoring nodes for source u (u
+// itself included, typically first with s(u,u)=1) in descending score
+// order, breaking ties by node ID.
+func (di *DiskIndex) SourceTop(u NodeID, limit int) ([]Scored, error) {
+	return di.pool.SourceTop(u, limit)
+}
+
+// Graph returns the graph the index was built over.
+func (di *DiskIndex) Graph() *Graph { return di.d.Meta().Graph() }
+
+// ErrorBound returns the worst-case additive error guaranteed per score.
+func (di *DiskIndex) ErrorBound() float64 { return di.d.Meta().ErrorBound() }
+
+// C returns the decay factor the index was built with.
+func (di *DiskIndex) C() float64 { return di.d.Meta().C() }
+
+// NumEntries returns the number of HP entries resident on disk.
+func (di *DiskIndex) NumEntries() int64 { return di.d.NumEntries() }
+
+// Bytes returns the memory-resident footprint (metadata only; the entry
+// cache is accounted separately in CacheStats).
 func (di *DiskIndex) Bytes() int64 { return di.d.Meta().Bytes() }
+
+// CacheStats reports entry-cache counters (zeros when no cache was
+// configured).
+func (di *DiskIndex) CacheStats() DiskCacheStats { return di.d.CacheStats() }
 
 // Close releases the underlying file.
 func (di *DiskIndex) Close() error { return di.d.Close() }

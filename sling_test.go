@@ -416,3 +416,194 @@ func TestFacadeParallelMatchesSerial(t *testing.T) {
 		t.Fatal(msg)
 	}
 }
+
+// diskTestIndex builds an index, saves it, and opens it disk-resident
+// with the given options.
+func diskTestIndex(t *testing.T, g *Graph, seed uint64, o *DiskOptions) (*Index, *DiskIndex) {
+	t.Helper()
+	ix, err := Build(g, &Options{Eps: 0.06, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/disk.sling"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	di, err := OpenDiskWithOptions(path, g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { di.Close() })
+	return ix, di
+}
+
+// The acceptance bar for the concurrent disk engine: >= 8 goroutines of
+// mixed disk queries (single-pair, single-source, top-k, source-top,
+// batch) against one shared DiskIndex, byte-identical to the in-memory
+// index, with the entry cache on. Run under -race in CI.
+func TestDiskIndexConcurrentMixedQueries(t *testing.T) {
+	g := testGraph(60, 360, 26)
+	ix, di := diskTestIndex(t, g, 27, &DiskOptions{CacheBytes: 1 << 20, Workers: 4})
+	wantPair := ix.SimRank(4, 11)
+	wantVec := ix.SingleSource(9, nil)
+	wantTop := ix.TopK(3, 6)
+	wantSrc := ix.SourceTop(8, 5)
+	us := []NodeID{2, 7, 1, 8, 2, 8}
+	wantBatch := ix.SingleSourceBatch(us)
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if got, err := di.SimRank(4, 11); err != nil || got != wantPair {
+					errs <- "disk SimRank drift"
+					return
+				}
+				vec, err := di.SingleSource(9, nil)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				for v := range wantVec {
+					if vec[v] != wantVec[v] {
+						errs <- "disk SingleSource drift"
+						return
+					}
+				}
+				top, err := di.TopK(3, 6)
+				if err != nil || len(top) != len(wantTop) {
+					errs <- "disk TopK drift"
+					return
+				}
+				for j := range top {
+					if top[j] != wantTop[j] {
+						errs <- "disk TopK entry drift"
+						return
+					}
+				}
+				src, err := di.SourceTop(8, 5)
+				if err != nil || len(src) != len(wantSrc) {
+					errs <- "disk SourceTop drift"
+					return
+				}
+				for j := range src {
+					if src[j] != wantSrc[j] {
+						errs <- "disk SourceTop entry drift"
+						return
+					}
+				}
+				batch, err := di.SingleSourceBatch(us)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				for r := range batch {
+					for v := range batch[r] {
+						if batch[r][v] != wantBatch[r][v] {
+							errs <- "disk SingleSourceBatch drift"
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, bad := <-errs; bad {
+		t.Fatal(msg)
+	}
+	if st := di.CacheStats(); st.Hits == 0 {
+		t.Fatalf("entry cache never hit under a hot loop: %+v", st)
+	}
+}
+
+// Cached and uncached disk indexes must agree with memory and each
+// other; the cache must actually serve hits on re-query.
+func TestOpenDiskCachedEquivalence(t *testing.T) {
+	g := testGraph(40, 240, 28)
+	ix, plain := diskTestIndex(t, g, 29, nil)
+	_, cached := diskTestIndex(t, g, 29, &DiskOptions{CacheBytes: 2 << 20})
+	for pass := 0; pass < 2; pass++ {
+		for i := NodeID(0); i < 40; i += 3 {
+			for j := NodeID(0); j < 40; j += 5 {
+				want := ix.SimRank(i, j)
+				a, err := plain.SimRank(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := cached.SimRank(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a != want || b != want {
+					t.Fatalf("s(%d,%d): plain %v cached %v memory %v", i, j, a, b, want)
+				}
+			}
+		}
+	}
+	if st := cached.CacheStats(); st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("cache inactive: %+v", st)
+	}
+	if st := plain.CacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("uncached index counted cache traffic: %+v", st)
+	}
+}
+
+// Facade disk TopK/SourceTop/batch must mirror the in-memory facade.
+func TestDiskIndexTopKAndBatchFacade(t *testing.T) {
+	g := testGraph(50, 300, 30)
+	ix, di := diskTestIndex(t, g, 31, &DiskOptions{Workers: 3})
+	for u := NodeID(0); u < 50; u += 11 {
+		gotTop, err := di.TopK(u, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTop := ix.TopK(u, 6)
+		if len(gotTop) != len(wantTop) {
+			t.Fatalf("TopK(%d) length %d vs %d", u, len(gotTop), len(wantTop))
+		}
+		for i := range gotTop {
+			if gotTop[i] != wantTop[i] {
+				t.Fatalf("TopK(%d) entry %d mismatch", u, i)
+			}
+		}
+		gotSrc, err := di.SourceTop(u, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSrc := ix.SourceTop(u, 4)
+		if len(gotSrc) != len(wantSrc) {
+			t.Fatalf("SourceTop(%d) length %d vs %d", u, len(gotSrc), len(wantSrc))
+		}
+		for i := range gotSrc {
+			if gotSrc[i] != wantSrc[i] {
+				t.Fatalf("SourceTop(%d) entry %d mismatch", u, i)
+			}
+		}
+	}
+	us := []NodeID{0, 13, 26, 39, 49, 13}
+	got, err := di.SingleSourceBatch(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ix.SingleSourceBatch(us)
+	for i := range us {
+		for v := range want[i] {
+			if got[i][v] != want[i][v] {
+				t.Fatalf("batch row %d differs at %d", i, v)
+			}
+		}
+	}
+	if di.NumEntries() == 0 {
+		t.Fatal("NumEntries not surfaced")
+	}
+	if di.Graph() != g {
+		t.Fatal("Graph not surfaced")
+	}
+	if di.ErrorBound() != ix.ErrorBound() || di.C() != ix.C() {
+		t.Fatal("parameter accessors disagree with memory index")
+	}
+}
