@@ -28,6 +28,10 @@
 //	diskqps  disk-resident (Section 5.4) single-pair QPS vs goroutine
 //	         count and entry-cache size, with cache hit rates (not a
 //	         paper figure; bounds the -disk serving tier)
+//	dynamic  query QPS and staleness (affected-frontier size, pending
+//	         ops, epoch swaps) while edge updates stream in at each
+//	         -update-rates setting (not a paper figure; bounds the
+//	         dynamic-graph serving tier)
 //	all      everything above
 //
 // The default "fast" preset uses ε=0.1 so the full sweep finishes on a
@@ -50,17 +54,19 @@ import (
 	"time"
 
 	"sling/internal/core"
+	"sling/internal/dynamic"
 	"sling/internal/eval"
 	"sling/internal/graph"
 	"sling/internal/humanize"
 	"sling/internal/linearize"
 	"sling/internal/mc"
 	"sling/internal/power"
+	"sling/internal/rng"
 	"sling/internal/workload"
 )
 
 var (
-	expFlag      = flag.String("exp", "perf", "experiment: table3|fig1|fig2|fig3|fig4|perf|fig5|fig6|fig7|acc|fig9|fig10|ablation|throughput|diskqps|all")
+	expFlag      = flag.String("exp", "perf", "experiment: table3|fig1|fig2|fig3|fig4|perf|fig5|fig6|fig7|acc|fig9|fig10|ablation|throughput|diskqps|dynamic|all")
 	datasetsFlag = flag.String("datasets", "", "comma-separated dataset names (default: per-experiment)")
 	scaleFlag    = flag.Float64("scale", 1, "dataset scale factor")
 	presetFlag   = flag.String("preset", "fast", "parameter preset: fast (eps=0.1) or paper (eps=0.025)")
@@ -75,6 +81,12 @@ var (
 	mcCapFlag    = flag.Int64("mccap", 1<<30, "max MC index bytes before the dataset is skipped (paper: 64GB)")
 	cachesFlag   = flag.String("caches", "0,0.25,4", "diskqps entry-cache sizes in MiB (0 = uncached)")
 	diskOpsFlag  = flag.Int("diskops", 20000, "diskqps single-pair queries per cell")
+
+	updRatesFlag   = flag.String("update-rates", "0,200,2000", "dynamic: edge-update rates in ops/sec, one cell each")
+	dynDurFlag     = flag.Duration("dyndur", 3*time.Second, "dynamic: wall time per cell")
+	dynThreshFlag  = flag.Int("rebuild-every", 500, "dynamic: applied ops per background rebuild (0 = never)")
+	dynWalksFlag   = flag.Int("dynwalks", 1024, "dynamic: MC walks per affected-node estimate")
+	dynWorkersFlag = flag.Int("dynworkers", 4, "dynamic: concurrent query goroutines")
 )
 
 func main() {
@@ -119,6 +131,10 @@ func run() error {
 			if err := runDiskQPS(); err != nil {
 				return err
 			}
+		case "dynamic":
+			if err := runDynamic(); err != nil {
+				return err
+			}
 		case "all":
 			runTable3()
 			if err := runPerf(); err != nil {
@@ -140,6 +156,9 @@ func run() error {
 				return err
 			}
 			if err := runDiskQPS(); err != nil {
+				return err
+			}
+			if err := runDynamic(); err != nil {
 				return err
 			}
 		default:
@@ -907,6 +926,144 @@ func runDiskQPS() error {
 		}
 		os.RemoveAll(dir)
 	}
+	fmt.Println()
+	return nil
+}
+
+// --------------------------------------------------------------- dynamic
+
+// runDynamic measures the updatable-index serving tier: single-pair query
+// QPS from -dynworkers goroutines while a writer streams edge updates at
+// each -update-rates setting, with background rebuilds every
+// -rebuild-every applied ops. Staleness columns sample the affected-node
+// frontier and the ops not yet reflected in the serving index; "swaps"
+// counts completed epoch rebuilds. Rate 0 is the static baseline the
+// other rows are read against.
+func runDynamic() error {
+	def := []workload.Spec{}
+	for _, name := range []string{"GrQc", "Wiki-Vote"} {
+		s, ok := workload.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown default dataset %q", name)
+		}
+		def = append(def, s)
+	}
+	specs, err := selectDatasets(def)
+	if err != nil {
+		return err
+	}
+	slingOpt, _, _, err := params(*presetFlag)
+	if err != nil {
+		return err
+	}
+	rates, err := parseInts(*updRatesFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Dynamic: query QPS and staleness under streaming edge updates (preset %s, scale %g) ==\n",
+		*presetFlag, *scaleFlag)
+	fmt.Printf("   (%d query goroutines, %v per cell, rebuild every %d ops, %d MC walks)\n",
+		*dynWorkersFlag, *dynDurFlag, *dynThreshFlag, *dynWalksFlag)
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tupd/s\tqueries\tqueries/s\tapplied\tswaps\tavg affected\tmax affected\tmax pending")
+	for _, spec := range specs {
+		g := spec.Generate(*scaleFlag)
+		n := g.NumNodes()
+		for _, rate := range rates {
+			d, err := dynamic.New(g, dynamic.Options{
+				Build:            slingOpt,
+				RebuildThreshold: *dynThreshFlag,
+				NumWalks:         *dynWalksFlag,
+				Seed:             *seedFlag,
+			})
+			if err != nil {
+				return fmt.Errorf("%s: dynamic build: %w", spec.Name, err)
+			}
+			pairs := workload.RandomPairs(g, 4096, *seedFlag+19)
+			deadline := time.Now().Add(*dynDurFlag)
+			var queries atomic.Int64
+			var wg sync.WaitGroup
+			for qw := 0; qw < *dynWorkersFlag; qw++ {
+				wg.Add(1)
+				go func(qw int) {
+					defer wg.Done()
+					for i := qw; time.Now().Before(deadline); i++ {
+						p := pairs[i%len(pairs)]
+						d.SimRank(p.U, p.V)
+						queries.Add(1)
+					}
+				}(qw)
+			}
+			// Writer: apply a batch every tick sized to hit the target
+			// rate; removals pick previously-added synthetic edges so the
+			// graph does not drift monotonically.
+			var affSum, affMax, pendMax, samples int64
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := rng.New(*seedFlag + uint64(rate)*101)
+				var synth []dynamic.Op
+				const tick = 5 * time.Millisecond
+				begin := time.Now()
+				issued := 0 // pace against the wall clock, not tick counts,
+				// so Apply/Stats cost inside the loop cannot starve the rate
+				for time.Now().Before(deadline) {
+					time.Sleep(tick)
+					perTick := int(float64(rate)*time.Since(begin).Seconds()) - issued
+					issued += perTick
+					if perTick > 0 {
+						ops := make([]dynamic.Op, 0, perTick)
+						for i := 0; i < perTick; i++ {
+							if len(synth) > 0 && r.Intn(2) == 0 {
+								j := r.Intn(len(synth))
+								e := synth[j]
+								synth[j] = synth[len(synth)-1]
+								synth = synth[:len(synth)-1]
+								ops = append(ops, dynamic.Op{From: e.From, To: e.To})
+							} else {
+								ops = append(ops, dynamic.Op{Add: true,
+									From: graph.NodeID(r.Intn(n)), To: graph.NodeID(r.Intn(n))})
+							}
+						}
+						res, _, err := d.Apply(ops)
+						if err != nil {
+							return
+						}
+						// Only adds that actually changed the graph become
+						// removal candidates: an add colliding with a base
+						// edge was a no-op, and removing it later would strip
+						// the original edge and drift the graph downward.
+						for i, or := range res {
+							if ops[i].Add && or.Applied {
+								synth = append(synth, ops[i])
+							}
+						}
+					}
+					st := d.Stats()
+					affSum += int64(st.AffectedNodes)
+					if int64(st.AffectedNodes) > affMax {
+						affMax = int64(st.AffectedNodes)
+					}
+					if int64(st.StaleOps) > pendMax {
+						pendMax = int64(st.StaleOps)
+					}
+					samples++
+				}
+			}()
+			wg.Wait()
+			st := d.Stats()
+			d.Close()
+			avgAff := "-"
+			if samples > 0 {
+				avgAff = fmt.Sprintf("%.0f", float64(affSum)/float64(samples))
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%d\t%d\t%s\t%d\t%d\n",
+				spec.Name, rate, queries.Load(),
+				float64(queries.Load())/dynDurFlag.Seconds(),
+				st.TotalOps, st.Rebuilds, avgAff, affMax, pendMax)
+		}
+	}
+	w.Flush()
 	fmt.Println()
 	return nil
 }

@@ -4,11 +4,20 @@
 //
 //	slingserver -graph g.txt [-undirected] [-index idx.sling] [-eps 0.025] [-addr :8080] [-batch-workers N]
 //	slingserver -graph g.txt -index idx.sling -disk [-cache-bytes N]
+//	slingserver -graph g.txt -dynamic [-rebuild-threshold N] [-dyn-walks N] [-dyn-depth N]
 //
 // With -disk the index file stays on disk (Section 5.4): only O(n)
 // metadata is memory-resident, queries fetch HP entries with concurrent
 // positioned reads over pooled scratch, and -cache-bytes bounds a
 // sharded LRU cache of decoded entries so hot nodes skip I/O.
+//
+// With -dynamic the graph accepts edge updates while serving: POST
+// /update applies add/remove operations, queries touching updated
+// regions fall back to fresh Monte Carlo estimation (-dyn-walks walks,
+// -dyn-depth truncation), and the index rebuilds in the background after
+// every -rebuild-threshold applied ops (0 = only via POST /rebuild),
+// swapping epochs with zero query downtime. Dynamic mode always builds
+// at startup.
 //
 // Endpoints (JSON): GET /simrank?u=&v=  /source?u=[&limit=]  /topk?u=&k=
 // /stats  /healthz, plus POST /batch accepting a JSON array of
@@ -42,6 +51,10 @@ func main() {
 	maxBatchOps := flag.Int("max-batch-ops", 0, "max ops per /batch request (default 4096)")
 	disk := flag.Bool("disk", false, "serve disk-resident from -index: only O(n) metadata in memory")
 	cacheBytes := flag.Int64("cache-bytes", 0, "entry-cache budget for -disk mode (0 = no cache)")
+	dynamic := flag.Bool("dynamic", false, "accept edge updates while serving (POST /update, /rebuild)")
+	rebuildThreshold := flag.Int("rebuild-threshold", 0, "applied update ops that trigger a background rebuild (0 = manual)")
+	dynWalks := flag.Int("dyn-walks", 4096, "MC walks per affected-node estimate in -dynamic mode (0 = derive the guaranteed count)")
+	dynDepth := flag.Int("dyn-depth", 0, "walk truncation depth in -dynamic mode (0 = derive from eps)")
 	flag.Parse()
 
 	if *graphPath == "" {
@@ -51,6 +64,20 @@ func main() {
 	}
 	if *disk && *indexPath == "" {
 		fmt.Fprintln(os.Stderr, "slingserver: -disk requires -index (build one with slingtool)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *dynamic && (*disk || *indexPath != "") {
+		fmt.Fprintln(os.Stderr, "slingserver: -dynamic builds at startup and is incompatible with -disk/-index")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *dynamic && *undirected {
+		// POST /update applies directed ops; on a graph loaded with both
+		// directions per line a single add would silently break the
+		// undirected invariant. Pre-expand the edge list and send both
+		// directions per update instead.
+		fmt.Fprintln(os.Stderr, "slingserver: -dynamic serves directed updates and is incompatible with -undirected (expand the edge list and send both directions per update)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -65,7 +92,27 @@ func main() {
 		MaxBatchOps:  *maxBatchOps,
 	}
 	var handler http.Handler
-	if *disk {
+	if *dynamic {
+		start := time.Now()
+		dx, err := sling.NewDynamic(g,
+			&sling.Options{Eps: *eps, Workers: *workers, Seed: *seed},
+			&sling.DynamicOptions{
+				RebuildThreshold: *rebuildThreshold,
+				NumWalks:         *dynWalks,
+				Depth:            *dynDepth,
+			})
+		if err != nil {
+			log.Fatalf("building dynamic index: %v", err)
+		}
+		defer dx.Close()
+		st := dx.Stats()
+		log.Printf("dynamic index built in %v (epoch %d, %d MC walks, depth %d, rebuild threshold %d)",
+			time.Since(start).Round(time.Millisecond), st.Epoch, st.NumWalks, st.Depth, st.RebuildThreshold)
+		handler, err = server.NewDynamic(dx, labels, cfg)
+		if err != nil {
+			log.Fatalf("creating server: %v", err)
+		}
+	} else if *disk {
 		di, err := sling.OpenDiskWithOptions(*indexPath, g, &sling.DiskOptions{CacheBytes: *cacheBytes})
 		if err != nil {
 			log.Fatalf("opening disk index: %v", err)

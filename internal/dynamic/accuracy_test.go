@@ -1,0 +1,107 @@
+package dynamic
+
+import (
+	"testing"
+
+	"sling/internal/core"
+	"sling/internal/eval"
+	"sling/internal/graph"
+	"sling/internal/rng"
+)
+
+// TestAccuracyWhileStale is the accuracy harness: while updates are
+// pending (pre-rebuild), dynamic answers on affected nodes must stay
+// within ε of exact power-iteration SimRank on the mutated graph. Walk
+// counts are derived from (ε, δ) — NumWalks: 0 — so this exercises the
+// real guarantee machinery, table-driven over decay factor, ε, and
+// update mix. The comparison goes through the internal/eval helpers so
+// any harness (tests, slingbench) measures staleness error the same way.
+func TestAccuracyWhileStale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("derived walk counts are large; skipping in -short")
+	}
+	cases := []struct {
+		name       string
+		c, eps     float64
+		n, m       int
+		adds, rems int
+		seed       uint64
+	}{
+		{name: "paper-c-loose-eps", c: 0.6, eps: 0.10, n: 24, m: 90, adds: 14, rems: 6, seed: 21},
+		{name: "add-heavy", c: 0.6, eps: 0.15, n: 30, m: 120, adds: 25, rems: 3, seed: 22},
+		{name: "remove-heavy", c: 0.6, eps: 0.15, n: 30, m: 150, adds: 4, rems: 22, seed: 23},
+		{name: "high-decay", c: 0.8, eps: 0.15, n: 20, m: 70, adds: 10, rems: 5, seed: 24},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g, _ := randomGraph(tc.n, tc.m, tc.seed)
+			d, err := New(g, Options{Build: core.Options{C: tc.c, Eps: tc.eps, Seed: tc.seed}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+
+			// Update mix: adds of fresh random edges, removes of existing
+			// ones (drawn from the current graph so they really apply).
+			r := rng.New(tc.seed + 1000)
+			var ops []Op
+			for i := 0; i < tc.adds; i++ {
+				ops = append(ops, Op{Add: true,
+					From: graph.NodeID(r.Intn(tc.n)), To: graph.NodeID(r.Intn(tc.n))})
+			}
+			cur := d.Graph()
+			for i := 0; i < tc.rems && cur.NumEdges() > 0; i++ {
+				u := graph.NodeID(r.Intn(tc.n))
+				outs := cur.OutNeighbors(u)
+				if len(outs) == 0 {
+					continue
+				}
+				ops = append(ops, Op{From: u, To: outs[r.Intn(len(outs))]})
+			}
+			if _, applied, err := d.Apply(ops); err != nil || applied == 0 {
+				t.Fatalf("apply: %d applied, err %v", applied, err)
+			}
+
+			aff := d.AffectedNodes()
+			if len(aff) == 0 {
+				t.Fatal("update mix produced no affected nodes")
+			}
+			st := d.Stats()
+			if st.Epoch != 1 || st.StaleOps == 0 {
+				t.Fatalf("expected pre-rebuild staleness, got %+v", st)
+			}
+
+			truth, err := eval.GroundTruth(d.Graph(), tc.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Single-source rows from affected sources: every entry of the
+			// row mixes MC estimates (affected targets) with static index
+			// answers (clean targets whose distributions are unchanged), so
+			// the whole row must be within ε.
+			srcs := aff
+			if len(srcs) > 6 {
+				srcs = srcs[:6]
+			}
+			for _, u := range srcs {
+				row := d.SingleSource(u, nil)
+				worst, err := eval.RowMaxError(truth, u, row)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if worst > tc.eps {
+					t.Errorf("source %d: max row error %.4f > eps %.3f", u, worst, tc.eps)
+				}
+			}
+			// Pair queries with at least one affected endpoint.
+			for q := 0; q < 40; q++ {
+				u := aff[r.Intn(len(aff))]
+				v := graph.NodeID(r.Intn(tc.n))
+				if e := eval.PairError(truth, u, v, d.SimRank(u, v)); e > tc.eps {
+					t.Errorf("pair (%d,%d): error %.4f > eps %.3f", u, v, e, tc.eps)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,676 @@
+// Package dynamic layers edge updates on top of a static SLING index,
+// opening the serving scenario static indexes miss: production graphs
+// mutate while queries keep arriving.
+//
+// A Dynamic index wraps a built core.Index and accepts AddEdge/RemoveEdge
+// while serving. Updates are tracked as an affected-node frontier: an edge
+// op on (u, v) changes v's in-neighborhood, so every node within forward
+// distance t of v (t the walk truncation depth) has a changed reverse-walk
+// distribution and can no longer trust the static index. Queries touching
+// affected nodes fall back to fresh coupled Monte Carlo estimation on the
+// mutated graph (the internal/mc coupling, Section 3.2 of the paper);
+// queries on unaffected nodes keep hitting the fast static index, whose
+// answers for them are still within the paper's ε guarantee because their
+// walk distributions up to depth t are unchanged and the tail beyond t
+// carries at most c^(t+1)/(1−c) ≤ ε/2 of meeting probability.
+//
+// A background rebuilder (threshold-triggered or manual) rebuilds the full
+// index off the mutated graph and atomically swaps it in as a new epoch:
+// queries are double-buffered across the swap with zero downtime, and the
+// old epoch is drained via refcount so operators can observe when no
+// in-flight query still reads it. After a rebuild with no concurrent
+// updates the Dynamic index answers exactly — byte-identically — like a
+// fresh core.Build of the mutated graph with the same options.
+//
+// All scores returned by Dynamic are clamped into [0, 1]: true SimRank
+// lives there, and the serving contract should not leak the ±ε estimation
+// overshoot of the underlying index.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sling/internal/core"
+	"sling/internal/graph"
+	"sling/internal/mc"
+)
+
+// ErrClosed is returned by updates and rebuilds after Close.
+var ErrClosed = errors.New("dynamic: index closed")
+
+// Op is one edge mutation: Add inserts From -> To, otherwise the op
+// removes it.
+type Op struct {
+	Add      bool
+	From, To graph.NodeID
+}
+
+// OpResult reports what one Op did. Applied is false when the op was a
+// no-op (adding an existing edge, removing a missing one) or invalid, in
+// which case Err says why.
+type OpResult struct {
+	Applied bool
+	Err     error
+}
+
+// Options configures New. The zero value builds with the paper's defaults,
+// derives the ε/δ-guaranteed Monte Carlo walk count, and never rebuilds in
+// the background (rebuilds are manual via Rebuild/TriggerRebuild).
+type Options struct {
+	// Build configures the initial core.Build and every rebuild. Rebuild
+	// determinism — and the rebuild-equivalence guarantee — come from
+	// reusing these options (including Seed) verbatim.
+	Build core.Options
+	// RebuildThreshold is the number of applied edge ops that triggers a
+	// background rebuild. 0 disables automatic rebuilds.
+	RebuildThreshold int
+	// NumWalks is the per-query Monte Carlo walk count for affected-node
+	// estimation. 0 derives the count guaranteeing ε accuracy with
+	// probability 1−δ (δ = 0.01), which is large; serving deployments
+	// usually set an explicit budget.
+	NumWalks int
+	// Depth overrides the walk truncation / staleness frontier depth t.
+	// 0 derives the smallest t with c^(t+1)/(1−c) ≤ ε/2, so truncation
+	// costs at most half the error budget.
+	Depth int
+	// Workers bounds SingleSourceBatch fan-out. Default GOMAXPROCS.
+	Workers int
+	// Seed drives the coupled Monte Carlo transitions. 0 derives a stream
+	// distinct from Build.Seed.
+	Seed uint64
+}
+
+// generation is one index epoch: an immutable core.Index (over the graph
+// it was built from) plus its scratch pool and the refcount that tracks
+// in-flight queries for drain accounting after a swap.
+type generation struct {
+	num  uint64
+	ix   *core.Index
+	pool *core.ScratchPool
+
+	refs    atomic.Int64
+	retired atomic.Bool
+	drained atomic.Bool
+}
+
+// view is the atomically-published serving state: the current generation,
+// the current (possibly mutated) graph, and the affected-node frontier
+// relative to the generation's base graph. Views are immutable; every
+// update batch and every swap publishes a fresh one.
+type view struct {
+	gen          *generation
+	g            *graph.Graph
+	affected     []bool  // nil when the graph matches gen's base graph
+	affectedList []int32 // ascending node IDs with affected[v] == true
+	staleOps     int     // applied ops not yet reflected in gen.ix
+}
+
+// clean reports whether v can be served from the static index.
+func (w *view) clean(v graph.NodeID) bool {
+	return w.affected == nil || !w.affected[v]
+}
+
+// Dynamic is an updatable SimRank index. Queries are safe for arbitrary
+// concurrent use and never block on updates or rebuilds; updates are
+// serialized internally.
+type Dynamic struct {
+	n        int
+	c        float64
+	nw       int
+	depth    int
+	seed     uint64
+	workers  int
+	thresh   int
+	buildOpt core.Options
+	pow      []float64 // pow[l] = c^l, l in [0, depth]
+
+	cur atomic.Pointer[view]
+
+	// mu guards the mutable bookkeeping below and serializes view
+	// publication (queries never take it).
+	mu        sync.Mutex
+	edges     map[uint64]struct{} // authoritative current edge set
+	dirtyAll  map[int32]struct{}  // in-neighborhood changes since the serving index's base
+	dirtySnap map[int32]struct{}  // same, since the in-flight rebuild snapshot (nil when idle)
+	staleOps  int
+	staleSnap int
+
+	rebuildMu  sync.Mutex // serializes rebuilds
+	rebuilding atomic.Bool
+	running    atomic.Bool
+	closed     atomic.Bool
+
+	totalOps    atomic.Uint64
+	rebuilds    atomic.Uint64
+	drainedGens atomic.Uint64
+
+	est sync.Pool // *ssScratch
+}
+
+// New builds the initial index over g and wraps it for updates.
+func New(g *graph.Graph, o Options) (*Dynamic, error) {
+	ix, err := core.Build(g, &o.Build)
+	if err != nil {
+		return nil, err
+	}
+	c, eps := ix.C(), ix.Eps()
+	d := &Dynamic{
+		n:        g.NumNodes(),
+		c:        c,
+		buildOpt: o.Build,
+		thresh:   o.RebuildThreshold,
+	}
+	d.depth = o.Depth
+	if d.depth <= 0 {
+		d.depth = DeriveDepth(eps, c)
+	}
+	d.nw = o.NumWalks
+	if d.nw <= 0 {
+		d.nw = mc.DeriveNumWalks(eps, 0.01, d.n)
+	}
+	d.seed = o.Seed
+	if d.seed == 0 {
+		d.seed = o.Build.Seed ^ 0x9e3779b97f4a7c15
+	}
+	d.workers = o.Workers
+	if d.workers <= 0 {
+		d.workers = runtime.GOMAXPROCS(0)
+	}
+	d.pow = make([]float64, d.depth+1)
+	for l := 0; l <= d.depth; l++ {
+		d.pow[l] = math.Pow(c, float64(l))
+	}
+	d.edges = make(map[uint64]struct{}, g.NumEdges())
+	g.Edges(func(from, to graph.NodeID) bool {
+		d.edges[edgeKey(from, to)] = struct{}{}
+		return true
+	})
+	d.dirtyAll = make(map[int32]struct{})
+	gen := &generation{num: 1, ix: ix, pool: ix.NewScratchPool()}
+	d.cur.Store(&view{gen: gen, g: g})
+	d.est.New = func() interface{} { return newSSScratch(d.n) }
+	return d, nil
+}
+
+// DeriveDepth returns the smallest truncation depth t whose ignored
+// meeting-probability tail Σ_{l>t} c^l = c^(t+1)/(1−c) is at most eps/2.
+func DeriveDepth(eps, c float64) int {
+	t := int(math.Ceil(math.Log(eps*(1-c)/2)/math.Log(c))) - 1
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func edgeKey(from, to graph.NodeID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// AddEdge inserts the directed edge u -> v. It reports whether the graph
+// changed (false when the edge already existed) and errors on node IDs
+// outside [0, NumNodes) — the node set is fixed at New.
+func (d *Dynamic) AddEdge(u, v graph.NodeID) (bool, error) {
+	return d.applyOne(Op{Add: true, From: u, To: v})
+}
+
+// RemoveEdge deletes the directed edge u -> v. It reports whether the
+// graph changed (false when the edge did not exist) and errors on node
+// IDs outside [0, NumNodes).
+func (d *Dynamic) RemoveEdge(u, v graph.NodeID) (bool, error) {
+	return d.applyOne(Op{From: u, To: v})
+}
+
+func (d *Dynamic) applyOne(op Op) (bool, error) {
+	res, _, err := d.Apply([]Op{op})
+	if err != nil {
+		return false, err
+	}
+	return res[0].Applied, res[0].Err
+}
+
+// Apply executes a batch of edge ops atomically with respect to queries:
+// one new graph snapshot and one recomputed affected frontier cover the
+// whole batch. Invalid ops fail individually in the returned results;
+// the batch-level error is non-nil only when the index is closed.
+//
+// Publication cost is per batch, not per op: every batch with at least
+// one applied op rebuilds the CSR snapshot (O(m log m)) and re-runs the
+// frontier BFS. High-rate updaters on large graphs should batch their
+// ops (as POST /update does) rather than loop over AddEdge.
+func (d *Dynamic) Apply(ops []Op) ([]OpResult, int, error) {
+	if d.closed.Load() {
+		return nil, 0, ErrClosed
+	}
+	res := make([]OpResult, len(ops))
+	d.mu.Lock()
+	applied := 0
+	for i, op := range ops {
+		if op.From < 0 || int(op.From) >= d.n || op.To < 0 || int(op.To) >= d.n {
+			res[i].Err = fmt.Errorf("dynamic: edge (%d,%d) out of range [0,%d)", op.From, op.To, d.n)
+			continue
+		}
+		k := edgeKey(op.From, op.To)
+		if _, exists := d.edges[k]; exists == op.Add {
+			continue // add of present edge / remove of absent edge: no-op
+		}
+		if op.Add {
+			d.edges[k] = struct{}{}
+		} else {
+			delete(d.edges, k)
+		}
+		res[i].Applied = true
+		applied++
+		d.dirtyAll[op.To] = struct{}{}
+		if d.dirtySnap != nil {
+			d.dirtySnap[op.To] = struct{}{}
+		}
+	}
+	if applied > 0 {
+		d.staleOps += applied
+		if d.dirtySnap != nil {
+			d.staleSnap += applied
+		}
+		d.totalOps.Add(uint64(applied))
+		d.publishLocked()
+	}
+	trigger := d.thresh > 0 && d.staleOps >= d.thresh
+	d.mu.Unlock()
+	if trigger {
+		d.TriggerRebuild()
+	}
+	return res, applied, nil
+}
+
+// publishLocked rebuilds the CSR snapshot from the edge set, recomputes
+// the affected frontier, and publishes a fresh view on the current
+// generation. Caller holds mu.
+func (d *Dynamic) publishLocked() {
+	b := graph.NewBuilder(d.n)
+	for k := range d.edges {
+		b.AddEdge(graph.NodeID(k>>32), graph.NodeID(uint32(k)))
+	}
+	g := b.Build()
+	aff, list := affectedFrontier(g, d.dirtyAll, d.depth)
+	old := d.cur.Load()
+	d.cur.Store(&view{gen: old.gen, g: g, affected: aff, affectedList: list, staleOps: d.staleOps})
+}
+
+// affectedFrontier marks every node within forward distance depth of a
+// dirty node (a node whose in-neighborhood changed): exactly the nodes
+// whose truncated reverse-walk distribution may differ from the index's
+// base graph. A node y is visited at step j < depth of some node u's
+// reverse walk iff the graph has a forward path y -> … -> u of length j,
+// so BFS along out-edges from the dirty set covers every such u.
+func affectedFrontier(g *graph.Graph, dirty map[int32]struct{}, depth int) ([]bool, []int32) {
+	if len(dirty) == 0 {
+		return nil, nil
+	}
+	aff := make([]bool, g.NumNodes())
+	frontier := make([]int32, 0, len(dirty))
+	for v := range dirty {
+		aff[v] = true
+		frontier = append(frontier, v)
+	}
+	for step := 0; step < depth && len(frontier) > 0; step++ {
+		var next []int32
+		for _, v := range frontier {
+			for _, w := range g.OutNeighbors(v) {
+				if !aff[w] {
+					aff[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	list := make([]int32, 0, len(dirty))
+	for v, a := range aff {
+		if a {
+			list = append(list, int32(v))
+		}
+	}
+	return aff, list
+}
+
+// Rebuild synchronously rebuilds the index over the current graph and
+// swaps it in as a new epoch. Updates applied while the rebuild runs stay
+// pending (they form the new epoch's affected frontier); with no
+// concurrent updates the swapped index is byte-identical to a fresh
+// core.Build of the mutated graph with the same options.
+func (d *Dynamic) Rebuild() error {
+	d.rebuildMu.Lock()
+	err := d.rebuildLocked()
+	d.rebuildMu.Unlock()
+	if err == nil {
+		d.retriggerIfStale()
+	}
+	return err
+}
+
+// TriggerRebuild starts a background rebuild unless one is already
+// running or the index is closed; it reports whether one was started.
+func (d *Dynamic) TriggerRebuild() bool {
+	if d.closed.Load() {
+		return false
+	}
+	if !d.rebuilding.CompareAndSwap(false, true) {
+		return false
+	}
+	go func() {
+		d.rebuildMu.Lock()
+		// A failed build leaves the previous epoch serving; the next
+		// update over the threshold retries.
+		err := d.rebuildLocked()
+		d.rebuildMu.Unlock()
+		d.rebuilding.Store(false)
+		if err == nil {
+			d.retriggerIfStale()
+		}
+	}()
+	return true
+}
+
+// retriggerIfStale re-arms the threshold trigger after a swap: ops that
+// arrived during the rebuild stay pending in the new epoch, and with no
+// further Apply calls nothing else would ever schedule the rebuild they
+// already warrant.
+func (d *Dynamic) retriggerIfStale() {
+	d.mu.Lock()
+	stale := d.thresh > 0 && d.staleOps >= d.thresh
+	d.mu.Unlock()
+	if stale {
+		d.TriggerRebuild()
+	}
+}
+
+func (d *Dynamic) rebuildLocked() error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	d.running.Store(true)
+	defer d.running.Store(false)
+	d.mu.Lock()
+	snap := d.cur.Load().g
+	d.dirtySnap = make(map[int32]struct{})
+	d.staleSnap = 0
+	d.mu.Unlock()
+
+	opt := d.buildOpt
+	ix, err := core.Build(snap, &opt)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err != nil {
+		d.dirtySnap = nil
+		return err
+	}
+	if d.closed.Load() {
+		// Close raced the build: discard the result instead of swapping.
+		d.dirtySnap = nil
+		return ErrClosed
+	}
+	old := d.cur.Load()
+	gen := &generation{num: old.gen.num + 1, ix: ix, pool: ix.NewScratchPool()}
+	d.dirtyAll = d.dirtySnap
+	d.dirtySnap = nil
+	d.staleOps = d.staleSnap
+	aff, list := affectedFrontier(old.g, d.dirtyAll, d.depth)
+	d.cur.Store(&view{gen: gen, g: old.g, affected: aff, affectedList: list, staleOps: d.staleOps})
+	d.rebuilds.Add(1)
+	d.retire(old.gen)
+	return nil
+}
+
+// Close stops the rebuild machinery: no further updates or rebuilds are
+// accepted, and an in-flight background rebuild is cancelled (its result
+// is discarded before the swap; Close waits for the worker to finish).
+// Queries remain valid against the last published epoch.
+func (d *Dynamic) Close() {
+	d.closed.Store(true)
+	// Taking rebuildMu is the wait: it is held for the whole of any
+	// in-flight rebuild, whose swap the closed flag above suppresses.
+	d.rebuildMu.Lock()
+	defer d.rebuildMu.Unlock()
+}
+
+// acquire pins the current view: the generation's refcount guarantees the
+// drain counter only advances once every query reading a retired epoch
+// has released it.
+func (d *Dynamic) acquire() *view {
+	for {
+		w := d.cur.Load()
+		w.gen.refs.Add(1)
+		if d.cur.Load().gen == w.gen {
+			return w
+		}
+		d.release(w.gen) // swapped mid-acquire; prefer the fresh epoch
+	}
+}
+
+func (d *Dynamic) release(g *generation) {
+	if g.refs.Add(-1) == 0 && g.retired.Load() {
+		if g.drained.CompareAndSwap(false, true) {
+			d.drainedGens.Add(1)
+		}
+	}
+}
+
+func (d *Dynamic) retire(g *generation) {
+	g.retired.Store(true)
+	if g.refs.Load() == 0 && g.drained.CompareAndSwap(false, true) {
+		d.drainedGens.Add(1)
+	}
+}
+
+// SimRank returns s̃(u, v), clamped into [0, 1]: from the static index
+// when both nodes are unaffected, from fresh coupled Monte Carlo on the
+// mutated graph otherwise.
+func (d *Dynamic) SimRank(u, v graph.NodeID) float64 {
+	w := d.acquire()
+	defer d.release(w.gen)
+	if w.clean(u) && w.clean(v) {
+		return clamp01(w.gen.pool.SimRank(u, v))
+	}
+	return d.pairEstimate(w.g, u, v)
+}
+
+// SingleSource returns s̃(u, v) for every node v (clamped into [0, 1]),
+// writing into out when it has capacity. Unaffected targets of an
+// unaffected source come from the static index; everything else is
+// estimated on the mutated graph.
+func (d *Dynamic) SingleSource(u graph.NodeID, out []float64) []float64 {
+	w := d.acquire()
+	defer d.release(w.gen)
+	return d.singleSource(w, u, out)
+}
+
+func (d *Dynamic) singleSource(w *view, u graph.NodeID, out []float64) []float64 {
+	if cap(out) < d.n {
+		out = make([]float64, d.n)
+	}
+	out = out[:d.n]
+	if w.clean(u) {
+		out = w.gen.pool.SingleSource(u, out)
+		for i, s := range out {
+			out[i] = clamp01(s)
+		}
+		if w.affected == nil {
+			return out
+		}
+		// Patch the affected targets. Per-pair estimation walks two
+		// trajectories per pair; the memoized single-source sweep walks
+		// all n at once — cross over when the frontier covers most nodes.
+		if 2*len(w.affectedList) < d.n {
+			for _, v := range w.affectedList {
+				out[v] = d.pairEstimate(w.g, u, graph.NodeID(v))
+			}
+		} else {
+			tmp := d.mcSingleSource(w.g, u, nil)
+			for _, v := range w.affectedList {
+				out[v] = tmp[v]
+			}
+		}
+		return out
+	}
+	return d.mcSingleSource(w.g, u, out)
+}
+
+// TopK returns the k nodes most similar to u (excluding u itself) in
+// descending score order, ties by ascending node ID — the same selection
+// the static index uses, over the dynamic score vector.
+func (d *Dynamic) TopK(u graph.NodeID, k int) []core.TopEntry {
+	if k <= 0 {
+		return nil
+	}
+	w := d.acquire()
+	defer d.release(w.gen)
+	vec := w.gen.pool.Vector()
+	top := core.SelectTop(d.singleSource(w, u, vec), k, u)
+	w.gen.pool.PutVector(vec)
+	return top
+}
+
+// SourceTop returns the limit highest-scoring nodes for source u (u
+// itself included) in descending score order, ties by ascending node ID.
+func (d *Dynamic) SourceTop(u graph.NodeID, limit int) []core.TopEntry {
+	if limit <= 0 {
+		return nil
+	}
+	w := d.acquire()
+	defer d.release(w.gen)
+	vec := w.gen.pool.Vector()
+	top := core.SelectTop(d.singleSource(w, u, vec), limit, -1)
+	w.gen.pool.PutVector(vec)
+	return top
+}
+
+// SingleSourceBatch answers one single-source query per source in us,
+// fanned across workers goroutines (Options.Workers when workers <= 0).
+// Against a fixed state every row equals SingleSource(us[i], nil); under
+// concurrent updates each row is individually consistent with some
+// published view.
+func (d *Dynamic) SingleSourceBatch(us []graph.NodeID, workers int) [][]float64 {
+	rows := make([][]float64, len(us))
+	if workers <= 0 {
+		workers = d.workers
+	}
+	if workers > len(us) {
+		workers = len(us)
+	}
+	if workers <= 1 {
+		for i, u := range us {
+			rows[i] = d.SingleSource(u, nil)
+		}
+		return rows
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(us) {
+					return
+				}
+				rows[i] = d.SingleSource(us[i], nil)
+			}
+		}()
+	}
+	wg.Wait()
+	return rows
+}
+
+// AffectedNodes returns the current affected frontier as ascending node
+// IDs (empty when the static index fully covers the graph).
+func (d *Dynamic) AffectedNodes() []graph.NodeID {
+	w := d.acquire()
+	defer d.release(w.gen)
+	out := make([]graph.NodeID, len(w.affectedList))
+	copy(out, w.affectedList)
+	return out
+}
+
+// Graph returns the current (mutated) graph snapshot.
+func (d *Dynamic) Graph() *graph.Graph {
+	w := d.acquire()
+	defer d.release(w.gen)
+	return w.g
+}
+
+// Epoch returns the serving index's epoch number (1 after New,
+// incremented by every swap).
+func (d *Dynamic) Epoch() uint64 {
+	w := d.acquire()
+	defer d.release(w.gen)
+	return w.gen.num
+}
+
+// NumNodes returns the fixed node count.
+func (d *Dynamic) NumNodes() int { return d.n }
+
+// C returns the decay factor.
+func (d *Dynamic) C() float64 { return d.c }
+
+// ErrorBound returns the serving index's per-score error bound.
+func (d *Dynamic) ErrorBound() float64 {
+	w := d.acquire()
+	defer d.release(w.gen)
+	return w.gen.ix.ErrorBound()
+}
+
+// Stats is a point-in-time snapshot of the dynamic layer.
+type Stats struct {
+	Epoch            uint64 // serving index generation (1 = initial build)
+	Nodes            int
+	Edges            int    // edges in the current mutated graph
+	AffectedNodes    int    // size of the staleness frontier
+	StaleOps         int    // applied ops not yet reflected in the serving index
+	TotalOps         uint64 // lifetime applied ops
+	Rebuilds         uint64 // completed epoch swaps
+	RebuildRunning   bool
+	RebuildThreshold int
+	EpochsDrained    uint64 // retired epochs no in-flight query still reads
+	NumWalks         int    // MC walks per affected-node estimate
+	Depth            int    // walk truncation / frontier BFS depth
+	IndexBytes       int64
+	ErrorBound       float64
+}
+
+// Stats reports the current epoch, staleness, and rebuild state.
+func (d *Dynamic) Stats() Stats {
+	w := d.acquire()
+	defer d.release(w.gen)
+	return Stats{
+		Epoch:            w.gen.num,
+		Nodes:            d.n,
+		Edges:            w.g.NumEdges(),
+		AffectedNodes:    len(w.affectedList),
+		StaleOps:         w.staleOps,
+		TotalOps:         d.totalOps.Load(),
+		Rebuilds:         d.rebuilds.Load(),
+		RebuildRunning:   d.running.Load(),
+		RebuildThreshold: d.thresh,
+		EpochsDrained:    d.drainedGens.Load(),
+		NumWalks:         d.nw,
+		Depth:            d.depth,
+		IndexBytes:       w.gen.ix.Bytes(),
+		ErrorBound:       w.gen.ix.ErrorBound(),
+	}
+}
+
+func clamp01(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,132 @@
+package dynamic
+
+import (
+	"sling/internal/graph"
+	"sling/internal/mc"
+)
+
+// Affected-node query estimation: fresh coupled Monte Carlo on the
+// mutated graph, no stored walks. Transitions come from mc.Transition, a
+// pure function of (seed, walk index, step, node), so two walks occupying
+// the same node at the same step coalesce permanently and — more
+// importantly here — every estimate is a deterministic function of
+// (seed, graph): repeated queries on the same state agree exactly, the
+// single-pair and single-source paths agree exactly (they trace identical
+// trajectories and accumulate contributions in identical order), and
+// estimates stay unbiased because transitions of walks at distinct nodes
+// are independent and only the first meeting matters.
+//
+// A meeting at step l contributes c^l; estimates therefore always land in
+// [0, 1] by construction. Truncation at depth t ignores at most
+// c^(t+1)/(1−c) ≤ ε/2 of meeting probability (DeriveDepth), and NumWalks
+// bounds the sampling error.
+
+// pairEstimate estimates s(u, v) from nw coupled walk pairs on g.
+func (d *Dynamic) pairEstimate(g *graph.Graph, u, v graph.NodeID) float64 {
+	if u == v {
+		return 1
+	}
+	total := 0.0
+	for wi := 0; wi < d.nw; wi++ {
+		cu, cv := u, v
+		for l := 1; l <= d.depth; l++ {
+			cu = mc.Transition(g, d.seed, wi, l-1, cu)
+			if cu < 0 {
+				break
+			}
+			cv = mc.Transition(g, d.seed, wi, l-1, cv)
+			if cv < 0 {
+				break
+			}
+			if cu == cv {
+				total += d.pow[l]
+				break
+			}
+		}
+	}
+	return total * (1 / float64(d.nw))
+}
+
+// ssScratch holds the single-source sweep state: every node's current
+// walk position, the met flags, and a stamped memo of the shared
+// transition function so each (walk index, step) costs one hash per
+// distinct occupied node instead of one per node.
+type ssScratch struct {
+	cur       []int32
+	met       []bool
+	memoStamp []int64
+	memoVal   []int32
+	stamp     int64
+}
+
+func newSSScratch(n int) *ssScratch {
+	return &ssScratch{
+		cur:       make([]int32, n),
+		met:       make([]bool, n),
+		memoStamp: make([]int64, n),
+		memoVal:   make([]int32, n),
+	}
+}
+
+// next is mc.Transition memoized per (walk index, step) via s.stamp.
+func (s *ssScratch) next(g *graph.Graph, seed uint64, wi, l int, x int32) int32 {
+	if s.memoStamp[x] == s.stamp {
+		return s.memoVal[x]
+	}
+	nx := int32(mc.Transition(g, seed, wi, l, graph.NodeID(x)))
+	s.memoStamp[x] = s.stamp
+	s.memoVal[x] = nx
+	return nx
+}
+
+// mcSingleSource estimates s(u, v) for every v by sweeping all n coupled
+// walks together, one step at a time, under each walk index. Because the
+// transition out of a node is shared across walks, stepping all walks
+// costs O(n) per step with the memo. Per (walk index, node) the traced
+// trajectory — and hence the estimate — is identical to pairEstimate's.
+func (d *Dynamic) mcSingleSource(g *graph.Graph, u graph.NodeID, out []float64) []float64 {
+	if cap(out) < d.n {
+		out = make([]float64, d.n)
+	}
+	out = out[:d.n]
+	for i := range out {
+		out[i] = 0
+	}
+	s := d.est.Get().(*ssScratch)
+	for wi := 0; wi < d.nw; wi++ {
+		for v := range s.cur {
+			s.cur[v] = int32(v)
+			s.met[v] = false
+		}
+		for l := 1; l <= d.depth; l++ {
+			s.stamp++
+			for v := 0; v < d.n; v++ {
+				if s.met[v] || s.cur[v] < 0 {
+					continue
+				}
+				s.cur[v] = s.next(g, d.seed, wi, l-1, s.cur[v])
+			}
+			nu := s.cur[u]
+			if nu < 0 {
+				break // the source walk died; no further meetings
+			}
+			add := d.pow[l]
+			for v := 0; v < d.n; v++ {
+				if v == int(u) || s.met[v] {
+					continue
+				}
+				if s.cur[v] == nu {
+					out[v] += add
+					s.met[v] = true
+				}
+			}
+		}
+	}
+	d.est.Put(s)
+	inv := 1 / float64(d.nw)
+	for i := range out {
+		out[i] *= inv
+	}
+	out[u] = 1
+	return out
+}

@@ -1,0 +1,129 @@
+package dynamic
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"sling/internal/core"
+	"sling/internal/graph"
+)
+
+// FuzzDynamicUpdates feeds arbitrary interleavings of edge operations —
+// duplicate edges, self-loops, unknown node IDs, removes of nonexistent
+// edges, batches, forced and threshold rebuilds — into a Dynamic index
+// while query goroutines hammer it concurrently. Nothing may panic, no
+// score may be NaN, negative, or above 1, and invalid ops must fail as
+// errors. Run under -race this doubles as the concurrency proof for the
+// update/query/swap triangle.
+func FuzzDynamicUpdates(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02})
+	f.Add([]byte{0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18})
+	// add 0->1 twice (dup), self-loop 2->2, remove nonexistent, rebuild.
+	f.Add([]byte{0, 0, 1, 0, 0, 1, 0, 2, 2, 1, 5, 6, 2, 0, 0})
+	// out-of-range IDs interleaved with valid ops and a batch marker.
+	f.Add([]byte{0, 250, 1, 3, 0, 0, 1, 9, 9, 0, 4, 4, 2, 1, 1, 0, 200, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 12
+		b := graph.NewBuilder(n)
+		for v := 0; v < n-1; v++ {
+			b.AddEdge(graph.NodeID(v), graph.NodeID(v+1))
+			b.AddEdge(graph.NodeID((v*5)%n), graph.NodeID((v*7)%n))
+		}
+		d, err := New(b.Build(), Options{
+			Build:            core.Options{Eps: 0.2, Seed: 5},
+			NumWalks:         24,
+			RebuildThreshold: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+
+		checkScore := func(what string, s float64) {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				t.Errorf("%s returned out-of-[0,1] score %v", what, s)
+			}
+		}
+
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					u := graph.NodeID((i + w*3) % n)
+					v := graph.NodeID((i * 5) % n)
+					checkScore("SimRank", d.SimRank(u, v))
+					if i%7 == 0 {
+						for _, s := range d.SingleSource(u, nil) {
+							checkScore("SingleSource", s)
+						}
+					}
+					if i%11 == 0 {
+						for _, e := range d.TopK(u, 3) {
+							checkScore("TopK", e.Score)
+						}
+					}
+				}
+			}(w)
+		}
+
+		// Decode three bytes per op. The node bytes are taken mod 2n-4 and
+		// shifted so roughly a third of the IDs are invalid (negative or
+		// >= n), exercising the error paths.
+		node := func(raw byte) graph.NodeID { return graph.NodeID(int(raw)%(2*n-4) - 4) }
+		var batch []Op
+		for i := 0; i+2 < len(data); i += 3 {
+			kind, u, v := data[i], node(data[i+1]), node(data[i+2])
+			switch kind % 5 {
+			case 0, 1:
+				if _, err := d.AddEdge(u, v); err != nil && u >= 0 && int(u) < n && v >= 0 && int(v) < n {
+					t.Errorf("valid AddEdge(%d,%d) errored: %v", u, v, err)
+				}
+			case 2:
+				if _, err := d.RemoveEdge(u, v); err != nil && u >= 0 && int(u) < n && v >= 0 && int(v) < n {
+					t.Errorf("valid RemoveEdge(%d,%d) errored: %v", u, v, err)
+				}
+			case 3:
+				batch = append(batch, Op{Add: kind%2 == 1, From: u, To: v})
+				if len(batch) >= 4 {
+					if _, _, err := d.Apply(batch); err != nil {
+						t.Errorf("Apply: %v", err)
+					}
+					batch = batch[:0]
+				}
+			case 4:
+				if kind%2 == 0 {
+					d.TriggerRebuild()
+				} else if err := d.Rebuild(); err != nil {
+					t.Errorf("Rebuild: %v", err)
+				}
+			}
+		}
+		if len(batch) > 0 {
+			if _, _, err := d.Apply(batch); err != nil {
+				t.Errorf("Apply: %v", err)
+			}
+		}
+		close(done)
+		wg.Wait()
+
+		// Settle and spot-check the final state end to end.
+		if err := d.Rebuild(); err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < n; u++ {
+			for _, s := range d.SingleSource(graph.NodeID(u), nil) {
+				checkScore("final SingleSource", s)
+			}
+		}
+	})
+}

@@ -84,6 +84,29 @@ func GroupErrors(est, truth *power.Scores) (Grouped, error) {
 	return g, nil
 }
 
+// RowMaxError returns the largest |est[v] − truth(u, v)| over all v: the
+// single-source counterpart of MaxError, used by the dynamic-graph
+// accuracy harness to check one source's answers against ground truth
+// without materializing a full estimate matrix.
+func RowMaxError(truth *power.Scores, u graph.NodeID, est []float64) (float64, error) {
+	if len(est) != truth.N {
+		return 0, fmt.Errorf("eval: row length %d vs %d nodes", len(est), truth.N)
+	}
+	row := truth.Row(int(u))
+	worst := 0.0
+	for v, s := range est {
+		if d := math.Abs(s - row[v]); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// PairError returns |est − truth(u, v)| for one pair estimate.
+func PairError(truth *power.Scores, u, v graph.NodeID, est float64) float64 {
+	return math.Abs(est - truth.At(int(u), int(v)))
+}
+
 // ScoredPair is an unordered node pair with a score.
 type ScoredPair struct {
 	U, V  graph.NodeID

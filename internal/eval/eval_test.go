@@ -218,3 +218,25 @@ func TestGroundTruthMatchesFixedPoint(t *testing.T) {
 		t.Fatalf("ground truth s(0,1)=%v, want 0.6", truth.At(0, 1))
 	}
 }
+
+func TestRowMaxErrorAndPairError(t *testing.T) {
+	truth := &power.Scores{N: 3, Data: []float64{
+		1, 0.2, 0.1,
+		0.2, 1, 0.05,
+		0.1, 0.05, 1,
+	}}
+	est := []float64{1, 0.25, 0.08}
+	worst, err := RowMaxError(truth, 0, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(worst-0.05) > 1e-12 {
+		t.Fatalf("row max error %v, want 0.05", worst)
+	}
+	if _, err := RowMaxError(truth, 0, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if e := PairError(truth, 1, 2, 0.02); math.Abs(e-0.03) > 1e-12 {
+		t.Fatalf("pair error %v, want 0.03", e)
+	}
+}

@@ -201,15 +201,28 @@ func coupledWalk(g *graph.Graph, v graph.NodeID, t int, seed uint64, wi int, buf
 	buf = append(buf, v)
 	cur := v
 	for l := 0; l < t; l++ {
-		ins := g.InNeighbors(cur)
-		if len(ins) == 0 {
+		cur = Transition(g, seed, wi, l, cur)
+		if cur < 0 {
 			return buf
 		}
-		h := transitionHash(seed, uint64(wi), uint64(l), uint64(uint32(cur)))
-		cur = ins[h%uint64(len(ins))]
 		buf = append(buf, cur)
 	}
 	return buf
+}
+
+// Transition returns the coupled next position out of node x at step l of
+// walk index wi — the in-neighbor picked by the shared pseudo-random
+// transition function of (seed, wi, l, x) — or -1 when x has no
+// in-neighbors and the walk dies. It is the sampling primitive behind
+// Options.Coupled, exported so other estimators (the dynamic-graph layer's
+// affected-node queries) draw from the same coupling.
+func Transition(g *graph.Graph, seed uint64, wi, l int, x graph.NodeID) graph.NodeID {
+	ins := g.InNeighbors(x)
+	if len(ins) == 0 {
+		return -1
+	}
+	h := transitionHash(seed, uint64(wi), uint64(l), uint64(uint32(x)))
+	return ins[h%uint64(len(ins))]
 }
 
 // transitionHash mixes the coupling coordinates into 64 uniform bits

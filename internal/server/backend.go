@@ -56,6 +56,52 @@ func (b memBackend) Stats() map[string]interface{} {
 	}
 }
 
+// dynBackend serves from an updatable index: queries go through the
+// dynamic layer's epoch-swapped routing (static index for unaffected
+// nodes, fresh estimation otherwise). Like the in-memory backend its
+// queries cannot fail.
+type dynBackend struct {
+	dx *sling.DynamicIndex
+}
+
+func (b dynBackend) SimRank(u, v sling.NodeID) (float64, error) { return b.dx.SimRank(u, v), nil }
+
+func (b dynBackend) SingleSource(u sling.NodeID) ([]float64, error) {
+	return b.dx.SingleSource(u, nil), nil
+}
+
+func (b dynBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
+	return b.dx.SourceTop(u, limit), nil
+}
+
+func (b dynBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
+	return b.dx.TopK(u, k), nil
+}
+
+func (b dynBackend) NumNodes() int { return b.dx.NumNodes() }
+
+func (b dynBackend) Stats() map[string]interface{} {
+	st := b.dx.Stats()
+	return map[string]interface{}{
+		"mode":              "dynamic",
+		"nodes":             st.Nodes,
+		"edges":             st.Edges,
+		"epoch":             st.Epoch,
+		"affected_nodes":    st.AffectedNodes,
+		"stale_ops":         st.StaleOps,
+		"total_ops":         st.TotalOps,
+		"rebuilds":          st.Rebuilds,
+		"rebuild_running":   st.RebuildRunning,
+		"rebuild_threshold": st.RebuildThreshold,
+		"epochs_drained":    st.EpochsDrained,
+		"mc_walks":          st.NumWalks,
+		"mc_depth":          st.Depth,
+		"index_bytes":       st.IndexBytes,
+		"error_bound":       st.ErrorBound,
+		"decay_factor":      b.dx.C(),
+	}
+}
+
 // diskBackend serves from a disk-resident index (pooled scratch, shared
 // entry cache); only O(n) metadata is memory-resident.
 type diskBackend struct {

@@ -40,32 +40,39 @@ type BatchOp struct {
 	Limit *int   `json:"limit,omitempty"`
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	// Bound the body before decoding so MaxBatchOps limits memory, not
-	// just op count: 256 bytes comfortably covers any legitimate op.
+// decodeOps bounds and decodes a JSON op array for handleBatch and
+// handleUpdate, keeping their guards identical by construction: the body
+// is cut off past MaxBatchOps·256+4096 bytes (256 bytes comfortably
+// covers any legitimate op, so op count bounds memory too) with a 413,
+// malformed JSON and unknown fields answer 400, and more than
+// MaxBatchOps operations answer 413. ok=false means the error response
+// was already written.
+func decodeOps[T any](s *Server, w http.ResponseWriter, r *http.Request, what string) (ops []T, ok bool) {
 	maxBytes := int64(s.cfg.MaxBatchOps)*256 + 4096
 	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
-	var ops []BatchOp
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&ops); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			httpError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("batch body exceeds %d bytes", maxBytes))
-			return
+				fmt.Sprintf("%s body exceeds %d bytes", what, maxBytes))
+			return nil, false
 		}
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad batch body: %v", err))
-		return
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad %s body: %v", what, err))
+		return nil, false
 	}
 	if len(ops) > s.cfg.MaxBatchOps {
 		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d ops exceeds limit %d", len(ops), s.cfg.MaxBatchOps))
+			fmt.Sprintf("%s of %d ops exceeds limit %d", what, len(ops), s.cfg.MaxBatchOps))
+		return nil, false
+	}
+	return ops, true
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ops, ok := decodeOps[BatchOp](s, w, r, "batch")
+	if !ok {
 		return
 	}
 

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"sling"
+	"sling/internal/rng"
+)
+
+// dynServer builds a small random graph and serves it updatable.
+func dynServer(t *testing.T, labels []int64) (*Server, *sling.DynamicIndex) {
+	t.Helper()
+	r := rng.New(5)
+	n := 40
+	b := sling.NewGraphBuilder(n)
+	for i := 0; i < 200; i++ {
+		b.AddEdge(sling.NodeID(r.Intn(n)), sling.NodeID(r.Intn(n)))
+	}
+	dx, err := sling.NewDynamic(b.Build(),
+		&sling.Options{Eps: 0.08, Seed: 7},
+		&sling.DynamicOptions{NumWalks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dx.Close)
+	s, err := NewDynamic(dx, labels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dx
+}
+
+func post(t *testing.T, s *Server, path, body string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var out map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil && rec.Code == http.StatusOK {
+		t.Fatalf("bad JSON from %s: %v (%q)", path, err, rec.Body.String())
+	}
+	return rec, out
+}
+
+func TestUpdateEndpoint(t *testing.T) {
+	s, dx := dynServer(t, nil)
+	// The random seed graph may already contain 0 -> 39; make it absent so
+	// the scripted add/dup/remove sequence below is deterministic.
+	if _, err := dx.RemoveEdge(0, 39); err != nil {
+		t.Fatal(err)
+	}
+	base := dx.Stats()
+	rec, body := post(t, s, "/update", `[
+		{"op":"add","from":0,"to":39},
+		{"op":"add","from":0,"to":39},
+		{"op":"remove","from":0,"to":39},
+		{"op":"add","from":99,"to":1},
+		{"op":"zap","from":1,"to":2}
+	]`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	results := body["results"].([]interface{})
+	if len(results) != 5 {
+		t.Fatalf("%d results", len(results))
+	}
+	r0 := results[0].(map[string]interface{})
+	if r0["applied"] != true || r0["from"].(float64) != 0 || r0["to"].(float64) != 39 {
+		t.Fatalf("add result wrong: %v", r0)
+	}
+	if results[1].(map[string]interface{})["applied"] != false {
+		t.Fatalf("duplicate add not reported as no-op: %v", results[1])
+	}
+	if results[2].(map[string]interface{})["applied"] != true {
+		t.Fatalf("remove of just-added edge failed: %v", results[2])
+	}
+	if results[3].(map[string]interface{})["error"] == nil {
+		t.Fatalf("out-of-range node accepted: %v", results[3])
+	}
+	if results[4].(map[string]interface{})["error"] == nil {
+		t.Fatalf("unknown op accepted: %v", results[4])
+	}
+	if body["applied"].(float64) != 2 {
+		t.Fatalf("applied = %v, want 2", body["applied"])
+	}
+	if body["epoch"].(float64) != 1 {
+		t.Fatalf("epoch = %v before any rebuild", body["epoch"])
+	}
+	if got, want := body["stale_ops"].(float64), float64(base.StaleOps+2); got != want {
+		t.Fatalf("stale_ops = %v, want %v", got, want)
+	}
+	if got, want := dx.Stats().TotalOps, base.TotalOps+2; got != want {
+		t.Fatalf("index applied %d ops, want %d", got, want)
+	}
+}
+
+// /update and /rebuild share the method/body/size guards of /batch:
+// 405 with an Allow header, 400 on malformed JSON, 413 past the op or
+// byte caps.
+func TestUpdateRebuildGuards(t *testing.T) {
+	s, _ := dynServer(t, nil)
+	for _, path := range []string{"/update", "/rebuild"} {
+		for _, method := range []string{http.MethodGet, http.MethodPut, http.MethodDelete} {
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s: status %d, want 405", method, path, rec.Code)
+			}
+			if allow := rec.Header().Get("Allow"); allow != http.MethodPost {
+				t.Fatalf("%s %s: Allow header %q", method, path, allow)
+			}
+		}
+	}
+	if rec, _ := post(t, s, "/update", `[{"op":`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status %d, want 400", rec.Code)
+	}
+	if rec, _ := post(t, s, "/update", `[{"op":"add","zzz":1}]`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field status %d, want 400", rec.Code)
+	}
+
+	// Missing from/to fail per-op, not the request.
+	rec, body := post(t, s, "/update", `[{"op":"add","from":1}]`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("missing-to status %d", rec.Code)
+	}
+	if body["results"].([]interface{})[0].(map[string]interface{})["error"] == nil {
+		t.Fatal("missing 'to' did not error")
+	}
+
+	// Op-count and byte caps answer 413 like /batch.
+	small, err := NewDynamic(mustDyn(t), nil, Config{MaxBatchOps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three := `[{"op":"add","from":0,"to":1},{"op":"add","from":1,"to":2},{"op":"add","from":2,"to":3}]`
+	if rec, _ := post(t, small, "/update", three); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized update status %d, want 413", rec.Code)
+	}
+	pad := strings.Repeat(" ", 8192) + `[{"op":"add","from":0,"to":1}]`
+	if rec, _ := post(t, small, "/update", pad); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413", rec.Code)
+	}
+}
+
+func mustDyn(t *testing.T) *sling.DynamicIndex {
+	t.Helper()
+	b := sling.NewGraphBuilder(8)
+	for v := 0; v < 7; v++ {
+		b.AddEdge(sling.NodeID(v), sling.NodeID(v+1))
+	}
+	dx, err := sling.NewDynamic(b.Build(), &sling.Options{Eps: 0.1, Seed: 3},
+		&sling.DynamicOptions{NumWalks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dx.Close)
+	return dx
+}
+
+// The /stats epoch counter must advance after POST /rebuild, staleness
+// must clear, and the rebuild response reports the post-swap epoch.
+func TestRebuildAdvancesEpoch(t *testing.T) {
+	s, _ := dynServer(t, nil)
+	_, st := get(t, s, "/stats")
+	if st["mode"] != "dynamic" {
+		t.Fatalf("mode = %v, want dynamic", st["mode"])
+	}
+	if st["epoch"].(float64) != 1 {
+		t.Fatalf("initial epoch %v", st["epoch"])
+	}
+	if rec, _ := post(t, s, "/update", `[{"op":"add","from":1,"to":7},{"op":"remove","from":2,"to":3}]`); rec.Code != http.StatusOK {
+		t.Fatalf("update status %d", rec.Code)
+	}
+	_, st = get(t, s, "/stats")
+	if st["stale_ops"].(float64) == 0 {
+		t.Fatal("no staleness recorded before rebuild")
+	}
+	rec, body := post(t, s, "/rebuild", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rebuild status %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["epoch"].(float64) != 2 {
+		t.Fatalf("rebuild epoch = %v, want 2", body["epoch"])
+	}
+	_, st = get(t, s, "/stats")
+	if st["epoch"].(float64) != 2 || st["stale_ops"].(float64) != 0 || st["affected_nodes"].(float64) != 0 {
+		t.Fatalf("post-rebuild stats not clean: %v", st)
+	}
+}
+
+// Concurrent updates, rebuilds, and queries through the HTTP surface:
+// every response must stay well-formed (no 5xx, scores in [0, 1]).
+func TestConcurrentUpdatesDuringQueries(t *testing.T) {
+	s, _ := dynServer(t, nil)
+	var wg sync.WaitGroup
+	fail := make(chan string, 32)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				u, v := (i+w*7)%40, (i*3)%40
+				req := httptest.NewRequest(http.MethodGet, "/simrank", nil)
+				q := req.URL.Query()
+				q.Set("u", strconv.Itoa(u))
+				q.Set("v", strconv.Itoa(v))
+				req.URL.RawQuery = q.Encode()
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					fail <- "query status " + strconv.Itoa(rec.Code)
+					return
+				}
+				var body map[string]interface{}
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					fail <- "bad query json"
+					return
+				}
+				if sc := body["score"].(float64); sc < 0 || sc > 1 {
+					fail <- "score out of [0,1]"
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				from, to := (i*5+w)%40, (i*11+w*13)%40
+				body := `[{"op":"add","from":` + strconv.Itoa(from) + `,"to":` + strconv.Itoa(to) + `}]`
+				req := httptest.NewRequest(http.MethodPost, "/update", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					fail <- "update status " + strconv.Itoa(rec.Code)
+					return
+				}
+				if i%5 == 0 {
+					rec := httptest.NewRecorder()
+					s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/rebuild", nil))
+					if rec.Code != http.StatusOK {
+						fail <- "rebuild failed"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(fail)
+	if msg, bad := <-fail; bad {
+		t.Fatal(msg)
+	}
+}
+
+// Dynamic mode with a label mapping: /update takes external labels and
+// unknown labels fail per-op.
+func TestUpdateLabelMapping(t *testing.T) {
+	labels := make([]int64, 40)
+	for i := range labels {
+		labels[i] = int64(1000 + i*10)
+	}
+	s, dx := dynServer(t, labels)
+	if _, err := dx.RemoveEdge(0, 39); err != nil {
+		t.Fatal(err)
+	}
+	rec, body := post(t, s, "/update", `[{"op":"add","from":1000,"to":1390},{"op":"add","from":1005,"to":1390}]`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	results := body["results"].([]interface{})
+	if results[0].(map[string]interface{})["applied"] != true {
+		t.Fatalf("label-mapped add failed: %v", results[0])
+	}
+	if results[1].(map[string]interface{})["error"] == nil {
+		t.Fatal("unknown label accepted")
+	}
+	if !dx.Graph().HasEdge(0, 39) {
+		t.Fatal("label-mapped edge not applied to dense IDs")
+	}
+}

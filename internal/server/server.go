@@ -2,8 +2,9 @@
 // the deployment shape a similarity service would actually run: build (or
 // load) the index once, then serve single-pair, single-source, top-k and
 // batched queries concurrently over pooled scratch. The index can be
-// fully in-memory (New) or disk-resident (NewDisk, Section 5.4 of the
-// paper): the endpoint surface is identical, only the backend differs.
+// fully in-memory (New), disk-resident (NewDisk, Section 5.4 of the
+// paper), or updatable (NewDynamic): the query surface is identical, only
+// the backend differs, and dynamic mode adds mutation endpoints.
 //
 // Endpoints:
 //
@@ -11,6 +12,8 @@
 //	GET  /source?u=U[&limit=L]     -> {"u":U,"scores":[{"node":V,"score":S},...]}
 //	GET  /topk?u=U&k=K             -> {"u":U,"results":[{"node":V,"score":S},...]}
 //	POST /batch                    -> {"results":[...]} (see batch.go)
+//	POST /update                   -> dynamic mode only (see update.go)
+//	POST /rebuild                  -> dynamic mode only (see update.go)
 //	GET  /stats                    -> index and graph statistics
 //	GET  /healthz                  -> 200 ok
 //
@@ -55,6 +58,7 @@ const DefaultMaxBatchOps = 4096
 // use; the underlying index pools query scratch internally.
 type Server struct {
 	be     backend
+	dyn    *sling.DynamicIndex    // non-nil in dynamic mode only
 	labels []int64                // dense ID -> original label; nil = identity
 	byLbl  map[int64]sling.NodeID // original label -> dense ID
 	mux    *http.ServeMux
@@ -84,6 +88,21 @@ func NewDisk(di *sling.DiskIndex, labels []int64, cfg Config) (*Server, error) {
 	return newServer(diskBackend{di: di}, labels, cfg)
 }
 
+// NewDynamic creates a Server over an updatable index. The query surface
+// is the same as the other modes; additionally POST /update applies edge
+// operations, POST /rebuild swaps in a freshly built epoch, and /stats
+// reports epoch, staleness-frontier, and rebuild-state counters.
+func NewDynamic(dx *sling.DynamicIndex, labels []int64, cfg Config) (*Server, error) {
+	s, err := newServer(dynBackend{dx: dx}, labels, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.dyn = dx
+	s.mux.HandleFunc("/update", s.postOnly(s.handleUpdate))
+	s.mux.HandleFunc("/rebuild", s.postOnly(s.handleRebuild))
+	return s, nil
+}
+
 func newServer(be backend, labels []int64, cfg Config) (*Server, error) {
 	if cfg.BatchWorkers <= 0 {
 		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
@@ -105,7 +124,7 @@ func newServer(be backend, labels []int64, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/simrank", s.getOnly(s.handleSimRank))
 	s.mux.HandleFunc("/source", s.getOnly(s.handleSource))
 	s.mux.HandleFunc("/topk", s.getOnly(s.handleTopK))
-	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/batch", s.postOnly(s.handleBatch))
 	s.mux.HandleFunc("/stats", s.getOnly(s.handleStats))
 	s.mux.HandleFunc("/healthz", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -121,6 +140,19 @@ func (s *Server) getOnly(h http.HandlerFunc) http.HandlerFunc {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			w.Header().Set("Allow", "GET, HEAD")
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// postOnly is getOnly's POST counterpart, shared by /batch, /update, and
+// /rebuild.
+func (s *Server) postOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
 		h(w, r)

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"sling"
+)
+
+// Dynamic-mode mutation endpoints (registered only by NewDynamic):
+//
+//	POST /update   apply a batch of edge operations
+//	POST /rebuild  synchronously rebuild the index and swap the epoch
+//
+// /update takes a JSON array of operations in external labels,
+//
+//	[{"op":"add","from":F,"to":T},
+//	 {"op":"remove","from":F,"to":T}, ...]
+//
+// and answers {"results":[...],"applied":N,"epoch":E,"affected":M,
+// "stale_ops":S} with one result per operation in request order: either
+// {"op":...,"from":F,"to":T,"applied":true|false} (applied=false means a
+// no-op: the edge already existed / did not exist) or {"op":...,
+// "error":"..."}. Per-operation failures — unknown label, unknown op —
+// do not fail the request; the whole batch is applied under one graph
+// snapshot and one frontier recomputation. Method, body-size, and
+// op-count guards mirror /batch exactly (405+Allow, 400, 413).
+//
+// /rebuild takes no body, blocks until the rebuild completes, and answers
+// {"epoch":E,"took_ms":T}. Epoch E is the post-swap epoch, so a client
+// can confirm the swap happened by comparing against /stats before.
+
+// UpdateOp is one edge operation in a POST /update request. From and To
+// are node labels (original labels when the server has a label mapping,
+// dense IDs otherwise); pointers distinguish "absent" from label 0.
+type UpdateOp struct {
+	Op   string `json:"op"`
+	From *int64 `json:"from,omitempty"`
+	To   *int64 `json:"to,omitempty"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	ops, ok := decodeOps[UpdateOp](s, w, r, "update")
+	if !ok {
+		return
+	}
+
+	results := make([]interface{}, len(ops))
+	// Resolve labels first; ops that fail resolution get error entries and
+	// the survivors are applied as one batch.
+	edgeOps := make([]sling.EdgeOp, 0, len(ops))
+	slot := make([]int, 0, len(ops)) // edgeOps[i] answers results[slot[i]]
+	for i, op := range ops {
+		add := false
+		switch op.Op {
+		case "add":
+			add = true
+		case "remove":
+		default:
+			results[i] = map[string]interface{}{
+				"op": op.Op, "error": fmt.Sprintf("unknown op %q (want add|remove)", op.Op),
+			}
+			continue
+		}
+		from, err := s.opNode(op.From, "from")
+		if err != nil {
+			results[i] = map[string]interface{}{"op": op.Op, "error": err.Error()}
+			continue
+		}
+		to, err := s.opNode(op.To, "to")
+		if err != nil {
+			results[i] = map[string]interface{}{"op": op.Op, "error": err.Error()}
+			continue
+		}
+		edgeOps = append(edgeOps, sling.EdgeOp{Add: add, From: from, To: to})
+		slot = append(slot, i)
+	}
+	applied := 0
+	if len(edgeOps) > 0 {
+		res, n, err := s.dyn.Apply(edgeOps)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		applied = n
+		for i, or := range res {
+			entry := map[string]interface{}{
+				"op":      ops[slot[i]].Op,
+				"from":    *ops[slot[i]].From,
+				"to":      *ops[slot[i]].To,
+				"applied": or.Applied,
+			}
+			if or.Err != nil {
+				delete(entry, "applied")
+				entry["error"] = or.Err.Error()
+			}
+			results[slot[i]] = entry
+		}
+	}
+	st := s.dyn.Stats()
+	writeJSON(w, map[string]interface{}{
+		"results":   results,
+		"applied":   applied,
+		"epoch":     st.Epoch,
+		"affected":  st.AffectedNodes,
+		"stale_ops": st.StaleOps,
+	})
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if err := s.dyn.Rebuild(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"epoch":   s.dyn.Epoch(),
+		"took_ms": float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
+}

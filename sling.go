@@ -34,6 +34,7 @@ import (
 	"runtime"
 
 	"sling/internal/core"
+	"sling/internal/dynamic"
 	"sling/internal/graph"
 	"sling/internal/power"
 )
@@ -302,6 +303,143 @@ func (di *DiskIndex) CacheStats() DiskCacheStats { return di.d.CacheStats() }
 
 // Close releases the underlying file.
 func (di *DiskIndex) Close() error { return di.d.Close() }
+
+// EdgeOp is one edge mutation for DynamicIndex.Apply: Add inserts
+// From -> To, otherwise the op removes it.
+type EdgeOp = dynamic.Op
+
+// EdgeOpResult reports what one EdgeOp did (no-ops and invalid ops fail
+// individually, they never fail the batch).
+type EdgeOpResult = dynamic.OpResult
+
+// DynamicStats snapshots a DynamicIndex: epoch, staleness frontier,
+// rebuild state, and drain counters.
+type DynamicStats = dynamic.Stats
+
+// DynamicOptions tunes the dynamic layer beyond its defaults.
+type DynamicOptions struct {
+	// RebuildThreshold is the number of applied edge ops that triggers a
+	// background rebuild. 0 disables automatic rebuilds.
+	RebuildThreshold int
+	// NumWalks is the Monte Carlo walk count per affected-node estimate.
+	// 0 derives the ε/δ-guaranteed count, which is large; serving
+	// deployments usually set an explicit budget.
+	NumWalks int
+	// Depth overrides the walk truncation / staleness frontier depth.
+	// 0 derives the smallest depth whose truncated tail costs ≤ ε/2.
+	Depth int
+	// Workers bounds SingleSourceBatch fan-out. Default GOMAXPROCS.
+	Workers int
+	// Seed drives the Monte Carlo coupling. 0 derives one from the build
+	// seed.
+	Seed uint64
+}
+
+// DynamicIndex is an updatable SimRank index (a built static index plus
+// an edge-update layer): AddEdge/RemoveEdge mutate the graph while
+// queries keep serving, queries touching the affected-node frontier fall
+// back to fresh Monte Carlo estimation on the mutated graph, and a
+// rebuild (manual or threshold-triggered, in the background) swaps in a
+// fresh index as a new epoch with zero query downtime. All scores are
+// clamped into [0, 1]. Queries are safe for arbitrary concurrent use and
+// never block on updates.
+type DynamicIndex struct {
+	d *dynamic.Dynamic
+}
+
+// NewDynamic builds an index over g (nil Options = paper defaults) and
+// wraps it for edge updates. The node set is fixed; edges may be added
+// and removed freely afterwards.
+func NewDynamic(g *Graph, o *Options, do *DynamicOptions) (*DynamicIndex, error) {
+	var opt dynamic.Options
+	if o != nil {
+		opt.Build = *o
+	}
+	if do != nil {
+		opt.RebuildThreshold = do.RebuildThreshold
+		opt.NumWalks = do.NumWalks
+		opt.Depth = do.Depth
+		opt.Workers = do.Workers
+		opt.Seed = do.Seed
+	}
+	d, err := dynamic.New(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicIndex{d: d}, nil
+}
+
+// AddEdge inserts u -> v, reporting whether the graph changed (false when
+// the edge already existed). Node IDs outside the fixed node set error.
+func (dx *DynamicIndex) AddEdge(u, v NodeID) (bool, error) { return dx.d.AddEdge(u, v) }
+
+// RemoveEdge deletes u -> v, reporting whether the graph changed (false
+// when the edge did not exist).
+func (dx *DynamicIndex) RemoveEdge(u, v NodeID) (bool, error) { return dx.d.RemoveEdge(u, v) }
+
+// Apply executes a batch of edge ops under one graph snapshot and one
+// frontier recomputation. Invalid ops fail individually in the results;
+// the returned error is non-nil only after Close.
+func (dx *DynamicIndex) Apply(ops []EdgeOp) ([]EdgeOpResult, int, error) { return dx.d.Apply(ops) }
+
+// Rebuild synchronously rebuilds the index over the current graph and
+// swaps it in as a new epoch. With no concurrent updates the result is
+// byte-identical to a fresh Build of the mutated graph.
+func (dx *DynamicIndex) Rebuild() error { return dx.d.Rebuild() }
+
+// TriggerRebuild starts a background rebuild unless one is running; it
+// reports whether one was started.
+func (dx *DynamicIndex) TriggerRebuild() bool { return dx.d.TriggerRebuild() }
+
+// Close stops updates and rebuilds (an in-flight background rebuild is
+// discarded). Queries remain valid against the last epoch.
+func (dx *DynamicIndex) Close() { dx.d.Close() }
+
+// SimRank returns s̃(u, v) in [0, 1]: static-index fast path for
+// unaffected nodes, fresh estimation on the mutated graph otherwise.
+func (dx *DynamicIndex) SimRank(u, v NodeID) float64 { return dx.d.SimRank(u, v) }
+
+// SingleSource returns s̃(u, v) for every node v, writing into out when
+// it has capacity.
+func (dx *DynamicIndex) SingleSource(u NodeID, out []float64) []float64 {
+	return dx.d.SingleSource(u, out)
+}
+
+// SingleSourceBatch answers one single-source query per source, fanned
+// across DynamicOptions.Workers goroutines.
+func (dx *DynamicIndex) SingleSourceBatch(us []NodeID) [][]float64 {
+	return dx.d.SingleSourceBatch(us, 0)
+}
+
+// TopK returns the k nodes most similar to u (excluding u) in descending
+// score order, ties by ascending node ID.
+func (dx *DynamicIndex) TopK(u NodeID, k int) []Scored { return dx.d.TopK(u, k) }
+
+// SourceTop returns the limit highest-scoring nodes for source u (u
+// itself included) in descending score order.
+func (dx *DynamicIndex) SourceTop(u NodeID, limit int) []Scored { return dx.d.SourceTop(u, limit) }
+
+// AffectedNodes returns the staleness frontier as ascending node IDs.
+func (dx *DynamicIndex) AffectedNodes() []NodeID { return dx.d.AffectedNodes() }
+
+// Graph returns the current (mutated) graph snapshot.
+func (dx *DynamicIndex) Graph() *Graph { return dx.d.Graph() }
+
+// Epoch returns the serving index's epoch (1 after NewDynamic,
+// incremented by every rebuild swap).
+func (dx *DynamicIndex) Epoch() uint64 { return dx.d.Epoch() }
+
+// NumNodes returns the fixed node count.
+func (dx *DynamicIndex) NumNodes() int { return dx.d.NumNodes() }
+
+// C returns the decay factor.
+func (dx *DynamicIndex) C() float64 { return dx.d.C() }
+
+// ErrorBound returns the serving index's per-score error bound.
+func (dx *DynamicIndex) ErrorBound() float64 { return dx.d.ErrorBound() }
+
+// Stats reports epoch, staleness, and rebuild counters.
+func (dx *DynamicIndex) Stats() DynamicStats { return dx.d.Stats() }
 
 // ExactAllPairs computes ground-truth SimRank scores with the power
 // method at additive accuracy eps. It needs O(n²) memory and is meant for
