@@ -7,8 +7,17 @@
 //	slingtool stats -graph g.txt [-undirected] -index idx.sling
 //	slingtool query -graph g.txt [-undirected] -index idx.sling [-disk] u v [u v ...]
 //	slingtool source -graph g.txt [-undirected] -index idx.sling -node u [-top k]
+//	slingtool conformance [-families a,b] [-configs c:eps,...] [-n N] [-seed S] [-short] [-out BENCH_conformance.json]
 //
 // Node arguments use the original labels from the edge list.
+//
+// `slingtool conformance` runs the full differential-conformance matrix
+// (internal/conformance): every backend — in-memory, disk, out-of-core,
+// dynamic stale and rebuilt, and the three HTTP server modes — over every
+// graph family × (c, ε) configuration, checked against exact power-method
+// SimRank. It prints the full JSON report to stdout, writes the
+// per-family benchmark aggregate to -out, and exits non-zero when any
+// cell fails.
 package main
 
 import (
@@ -17,10 +26,13 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"sling"
+	"sling/internal/conformance"
 	"sling/internal/humanize"
+	"sling/internal/workload"
 )
 
 func main() {
@@ -38,6 +50,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "source":
 		err = cmdSource(os.Args[2:])
+	case "conformance":
+		err = cmdConformance(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -56,7 +70,8 @@ func usage() {
   slingtool build  -graph g.txt [-undirected] [-eps 0.025] [-out idx.sling] [-workers N] [-enhance] [-ooc DIR -mem MiB]
   slingtool stats  -graph g.txt [-undirected] -index idx.sling
   slingtool query  -graph g.txt [-undirected] -index idx.sling [-disk] u v [u v ...]
-  slingtool source -graph g.txt [-undirected] -index idx.sling -node u [-top k]`)
+  slingtool source -graph g.txt [-undirected] -index idx.sling -node u [-top k]
+  slingtool conformance [-families a,b] [-configs c:eps,...] [-n N] [-seed S] [-short] [-out bench.json]`)
 }
 
 // loadGraph parses the shared -graph/-undirected flags' target.
@@ -200,6 +215,92 @@ func cmdQuery(args []string) error {
 	}
 	for i, p := range pairs {
 		fmt.Printf("s(%s, %s) = %.6f\n", rest[2*i], rest[2*i+1], ix.SimRank(p[0], p[1]))
+	}
+	return nil
+}
+
+// cmdConformance runs the differential conformance matrix: all backends
+// × graph families × (c, eps) configs against exact SimRank.
+func cmdConformance(args []string) error {
+	fs := flag.NewFlagSet("conformance", flag.ExitOnError)
+	familiesFlag := fs.String("families", "",
+		fmt.Sprintf("comma-separated families (default all: %s)",
+			strings.Join(workload.FamilyNames(), ",")))
+	configsFlag := fs.String("configs", "", `comma-separated c:eps pairs, e.g. "0.6:0.05,0.8:0.15" (default the standard grid)`)
+	n := fs.Int("n", 0, "target nodes per family (default 24)")
+	seed := fs.Uint64("seed", 1, "matrix seed (graphs, builds, update mix)")
+	short := fs.Bool("short", false, "CI subset: three families, one config")
+	noHTTP := fs.Bool("no-http", false, "skip the HTTP server modes")
+	noDynamic := fs.Bool("no-dynamic", false, "skip the dynamic backends")
+	out := fs.String("out", "", "write the per-family benchmark JSON (BENCH_conformance.json) here")
+	quiet := fs.Bool("q", false, "suppress per-cell progress on stderr")
+	fs.Parse(args)
+
+	o := conformance.Options{N: *n, Seed: *seed, HTTP: !*noHTTP, Dynamic: !*noDynamic}
+	if *familiesFlag != "" {
+		fams, err := workload.ParseFamilies(strings.Split(*familiesFlag, ","))
+		if err != nil {
+			return err
+		}
+		o.Families = fams
+	}
+	if *configsFlag != "" {
+		for _, part := range strings.Split(*configsFlag, ",") {
+			c, eps, ok := strings.Cut(part, ":")
+			if !ok {
+				return fmt.Errorf("bad config %q, want c:eps", part)
+			}
+			cv, err1 := strconv.ParseFloat(strings.TrimSpace(c), 64)
+			ev, err2 := strconv.ParseFloat(strings.TrimSpace(eps), 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("bad config %q, want c:eps", part)
+			}
+			o.Configs = append(o.Configs, conformance.Config{C: cv, Eps: ev})
+		}
+	}
+	if *short {
+		if o.Families == nil {
+			fams, err := workload.ParseFamilies([]string{"er", "star", "degenerate"})
+			if err != nil {
+				return err
+			}
+			o.Families = fams
+		}
+		if o.Configs == nil {
+			o.Configs = []conformance.Config{{C: 0.6, Eps: 0.1}}
+		}
+	}
+	if !*quiet {
+		o.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	dir, err := os.MkdirTemp("", "sling-conformance-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	o.Dir = dir
+
+	rep, err := conformance.Run(o)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(os.Stdout); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := rep.SaveBench(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchmark aggregate written to %s\n", *out)
+	}
+	fmt.Fprintf(os.Stderr,
+		"conformance: %d cells (%d families x %d configs x %d backends), worst error %.5f, min eps headroom %.5f, %.1fs\n",
+		len(rep.Cells), len(rep.Families), len(rep.Configs), len(rep.Backends),
+		rep.WorstErr, rep.MinHeadroom, rep.ElapsedMS/1000)
+	if !rep.AllPass {
+		return fmt.Errorf("%d of %d conformance cells failed", rep.Failures, len(rep.Cells))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -77,6 +78,43 @@ func TestBuildEnhanced(t *testing.T) {
 	}
 	if err := cmdStats([]string{"-graph", graphPath, "-index", idxPath}); err != nil {
 		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestConformanceCommand(t *testing.T) {
+	benchPath := filepath.Join(t.TempDir(), "BENCH_conformance.json")
+	// One cheap family/config keeps the CLI path test fast; the matrix
+	// itself is exercised by internal/conformance.
+	if err := cmdConformance([]string{"-families", "star", "-configs", "0.6:0.1",
+		"-q", "-out", benchPath}); err != nil {
+		t.Fatalf("conformance: %v", err)
+	}
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatalf("bench artifact not written: %v", err)
+	}
+	var bench struct {
+		AllPass  *bool `json:"all_pass"`
+		Families []struct {
+			Family  string  `json:"family"`
+			BuildMS float64 `json:"build_ms"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("bench artifact not JSON: %v", err)
+	}
+	if bench.AllPass == nil || !*bench.AllPass {
+		t.Fatalf("bench artifact reports failure: %s", data)
+	}
+	if len(bench.Families) != 1 || bench.Families[0].Family != "star" || bench.Families[0].BuildMS <= 0 {
+		t.Fatalf("bench families wrong: %s", data)
+	}
+
+	if err := cmdConformance([]string{"-families", "nope"}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if err := cmdConformance([]string{"-configs", "bad"}); err == nil {
+		t.Fatal("malformed config accepted")
 	}
 }
 

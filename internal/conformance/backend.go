@@ -1,0 +1,440 @@
+// Package conformance is the differential-testing subsystem: it drives
+// every serving backend of this repository — the in-memory index, the
+// disk-resident index over a round-tripped SLIX file, the out-of-core
+// build, the dynamic (updatable) index pre- and post-rebuild, and the
+// HTTP server in memory/disk/dynamic mode — through one shared Backend
+// adapter, over a matrix of graph families × (c, ε) configurations ×
+// deterministic seeds, and checks every cell against exact power-method
+// SimRank.
+//
+// Each cell asserts the paper's headline guarantee and the properties
+// the backends promise each other:
+//
+//   - additive accuracy: |s̃(u,v) − s(u,v)| ≤ ε for single-pair,
+//     single-source, top-k and batch answers (Theorem 1);
+//   - cross-backend equivalence: backends sharing one index answer
+//     bitwise-identically (disk, out-of-core, and the HTTP modes against
+//     the in-memory reference; the rebuilt dynamic index against a fresh
+//     build of the mutated graph, modulo its documented [0,1] clamp);
+//   - invariants: symmetry, s̃(u,u) ≈ 1, score range, and top-k/
+//     source-top selections consistent with the backend's own
+//     single-source row.
+//
+// The matrix runs three ways: `go test ./internal/conformance`
+// (time-budgeted subset), `slingtool conformance` (full matrix, JSON
+// report), and the CI conformance job.
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+
+	"sling"
+	"sling/internal/core"
+	"sling/internal/server"
+)
+
+// Backend is the uniform query surface the conformance matrix drives.
+// Every serving path in the repository adapts to it; methods mirror the
+// facade's query set, with errors for the fallible (disk, HTTP) paths.
+type Backend interface {
+	// Name identifies the backend in reports ("memory", "disk", "ooc",
+	// "http-memory", ...).
+	Name() string
+	SimRank(u, v sling.NodeID) (float64, error)
+	SingleSource(u sling.NodeID) ([]float64, error)
+	SingleSourceBatch(us []sling.NodeID) ([][]float64, error)
+	TopK(u sling.NodeID, k int) ([]sling.Scored, error)
+	SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error)
+	// Clamped reports whether the backend clamps scores into [0, 1]
+	// (the dynamic layer does; raw index backends may return up to 1+ε).
+	Clamped() bool
+	Close() error
+}
+
+// memBackend adapts the in-memory facade index — the reference every
+// index-sharing backend is compared against bitwise.
+type memBackend struct {
+	ix *sling.Index
+}
+
+func (b memBackend) Name() string { return "memory" }
+func (b memBackend) SimRank(u, v sling.NodeID) (float64, error) {
+	return b.ix.SimRank(u, v), nil
+}
+func (b memBackend) SingleSource(u sling.NodeID) ([]float64, error) {
+	return b.ix.SingleSource(u, nil), nil
+}
+func (b memBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) {
+	return b.ix.SingleSourceBatch(us), nil
+}
+func (b memBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
+	return b.ix.TopK(u, k), nil
+}
+func (b memBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
+	return b.ix.SourceTop(u, limit), nil
+}
+func (b memBackend) Clamped() bool { return false }
+func (b memBackend) Close() error  { return nil }
+
+// oocBackend is memBackend over an index assembled out-of-core; builds
+// are seed-deterministic, so it must be bitwise-identical to the
+// in-memory build.
+type oocBackend struct {
+	memBackend
+}
+
+func (b oocBackend) Name() string { return "ooc" }
+
+// diskBackend adapts the disk-resident index (Section 5.4) over a
+// round-tripped SLIX file.
+type diskBackend struct {
+	di *sling.DiskIndex
+}
+
+func (b diskBackend) Name() string { return "disk" }
+func (b diskBackend) SimRank(u, v sling.NodeID) (float64, error) {
+	return b.di.SimRank(u, v)
+}
+func (b diskBackend) SingleSource(u sling.NodeID) ([]float64, error) {
+	return b.di.SingleSource(u, nil)
+}
+func (b diskBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) {
+	return b.di.SingleSourceBatch(us)
+}
+func (b diskBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
+	return b.di.TopK(u, k)
+}
+func (b diskBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
+	return b.di.SourceTop(u, limit)
+}
+func (b diskBackend) Clamped() bool { return false }
+func (b diskBackend) Close() error  { return b.di.Close() }
+
+// dynBackend adapts the dynamic (updatable) index. It never closes the
+// wrapped index — the harness owns its lifecycle across the stale and
+// rebuilt phases.
+type dynBackend struct {
+	name string
+	dx   *sling.DynamicIndex
+}
+
+func (b dynBackend) Name() string { return b.name }
+func (b dynBackend) SimRank(u, v sling.NodeID) (float64, error) {
+	return b.dx.SimRank(u, v), nil
+}
+func (b dynBackend) SingleSource(u sling.NodeID) ([]float64, error) {
+	return b.dx.SingleSource(u, nil), nil
+}
+func (b dynBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) {
+	return b.dx.SingleSourceBatch(us), nil
+}
+func (b dynBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
+	return b.dx.TopK(u, k), nil
+}
+func (b dynBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
+	return b.dx.SourceTop(u, limit), nil
+}
+func (b dynBackend) Clamped() bool { return true }
+func (b dynBackend) Close() error  { return nil }
+
+// clampedBackend views an unclamped backend through the dynamic layer's
+// [0, 1] clamp, recomputing top-k/source-top from the clamped row so
+// selection ties break identically. It is the bitwise reference for the
+// rebuilt dynamic index (which equals clamp01 of a fresh build).
+type clampedBackend struct {
+	inner Backend
+	topk  func(scores []float64, k int, skip sling.NodeID) []sling.Scored
+}
+
+func newClampedBackend(inner Backend) clampedBackend {
+	return clampedBackend{inner: inner, topk: core.SelectTop}
+}
+
+func clamp01(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func (b clampedBackend) Name() string { return b.inner.Name() + "-clamped" }
+func (b clampedBackend) SimRank(u, v sling.NodeID) (float64, error) {
+	s, err := b.inner.SimRank(u, v)
+	return clamp01(s), err
+}
+func (b clampedBackend) SingleSource(u sling.NodeID) ([]float64, error) {
+	row, err := b.inner.SingleSource(u)
+	for i, s := range row {
+		row[i] = clamp01(s)
+	}
+	return row, err
+}
+func (b clampedBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) {
+	rows, err := b.inner.SingleSourceBatch(us)
+	for _, row := range rows {
+		for i, s := range row {
+			row[i] = clamp01(s)
+		}
+	}
+	return rows, err
+}
+func (b clampedBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
+	row, err := b.SingleSource(u)
+	if err != nil {
+		return nil, err
+	}
+	return b.topk(row, k, u), nil
+}
+func (b clampedBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
+	row, err := b.SingleSource(u)
+	if err != nil {
+		return nil, err
+	}
+	return b.topk(row, limit, -1), nil
+}
+func (b clampedBackend) Clamped() bool { return true }
+func (b clampedBackend) Close() error  { return nil }
+
+// HTTPError is a non-200 answer from an HTTP-mode backend. Edge-case
+// tests assert on Code; the matrix treats any occurrence as a failure.
+type HTTPError struct {
+	Code int
+	Body string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("http %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// httpBackend drives a server.Server through its real HTTP surface
+// (mux, handlers, JSON encoding) in-process. encoding/json emits the
+// shortest float64 representation that round-trips exactly, so scores
+// survive the JSON hop bit-for-bit and HTTP modes participate in the
+// bitwise cross-backend checks.
+type httpBackend struct {
+	name    string
+	h       http.Handler
+	n       int
+	clamped bool
+}
+
+// NewHTTPBackend wraps an http.Handler serving the package server API
+// over a graph of n nodes (dense IDs; no label mapping).
+func NewHTTPBackend(name string, h http.Handler, n int, clamped bool) Backend {
+	return &httpBackend{name: name, h: h, n: n, clamped: clamped}
+}
+
+func (b *httpBackend) Name() string  { return b.name }
+func (b *httpBackend) Clamped() bool { return b.clamped }
+func (b *httpBackend) Close() error  { return nil }
+
+func (b *httpBackend) do(method, target, body string, out interface{}) error {
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, target, nil)
+	} else {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	b.h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return &HTTPError{Code: rec.Code, Body: rec.Body.String()}
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+		return fmt.Errorf("%s %s: decoding %q: %w", method, target, rec.Body.String(), err)
+	}
+	return nil
+}
+
+type scoredNode struct {
+	Node  int64   `json:"node"`
+	Score float64 `json:"score"`
+}
+
+func toScored(in []scoredNode) []sling.Scored {
+	out := make([]sling.Scored, len(in))
+	for i, e := range in {
+		out[i] = sling.Scored{Node: sling.NodeID(e.Node), Score: e.Score}
+	}
+	return out
+}
+
+func (b *httpBackend) SimRank(u, v sling.NodeID) (float64, error) {
+	var resp struct {
+		Score float64 `json:"score"`
+	}
+	err := b.do(http.MethodGet, fmt.Sprintf("/simrank?u=%d&v=%d", u, v), "", &resp)
+	return resp.Score, err
+}
+
+// sourceVector turns a full /source response into a dense score vector,
+// verifying it covers exactly the node set.
+func (b *httpBackend) sourceVector(entries []scoredNode) ([]float64, error) {
+	if len(entries) != b.n {
+		return nil, fmt.Errorf("source returned %d scores, want %d", len(entries), b.n)
+	}
+	out := make([]float64, b.n)
+	seen := make([]bool, b.n)
+	for _, e := range entries {
+		if e.Node < 0 || e.Node >= int64(b.n) || seen[e.Node] {
+			return nil, fmt.Errorf("source entry for node %d out of range or duplicated", e.Node)
+		}
+		seen[e.Node] = true
+		out[e.Node] = e.Score
+	}
+	return out, nil
+}
+
+func (b *httpBackend) SingleSource(u sling.NodeID) ([]float64, error) {
+	var resp struct {
+		Scores []scoredNode `json:"scores"`
+	}
+	if err := b.do(http.MethodGet, fmt.Sprintf("/source?u=%d", u), "", &resp); err != nil {
+		return nil, err
+	}
+	return b.sourceVector(resp.Scores)
+}
+
+func (b *httpBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) {
+	ops := make([]map[string]interface{}, len(us))
+	for i, u := range us {
+		ops[i] = map[string]interface{}{"op": "source", "u": u}
+	}
+	body, err := json.Marshal(ops)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Results []struct {
+			Scores []scoredNode `json:"scores"`
+			Error  string       `json:"error"`
+		} `json:"results"`
+	}
+	if err := b.do(http.MethodPost, "/batch", string(body), &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(us) {
+		return nil, fmt.Errorf("batch returned %d results for %d ops", len(resp.Results), len(us))
+	}
+	rows := make([][]float64, len(us))
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			return nil, fmt.Errorf("batch op %d: %s", i, r.Error)
+		}
+		if rows[i], err = b.sourceVector(r.Scores); err != nil {
+			return nil, fmt.Errorf("batch op %d: %w", i, err)
+		}
+	}
+	return rows, nil
+}
+
+func (b *httpBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
+	var resp struct {
+		Results []scoredNode `json:"results"`
+	}
+	err := b.do(http.MethodGet, fmt.Sprintf("/topk?u=%d&k=%d", u, k), "", &resp)
+	return toScored(resp.Results), err
+}
+
+func (b *httpBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
+	var resp struct {
+		Scores []scoredNode `json:"scores"`
+	}
+	err := b.do(http.MethodGet, fmt.Sprintf("/source?u=%d&limit=%d", u, limit), "", &resp)
+	return toScored(resp.Scores), err
+}
+
+// StaticSet is the group of backends that share one immutable index and
+// therefore must answer bitwise-identically: the in-memory reference,
+// the disk index over a round-tripped SLIX file, an out-of-core build,
+// and (optionally) HTTP servers in memory and disk mode.
+type StaticSet struct {
+	Ref    Backend   // the in-memory reference
+	Others []Backend // disk, ooc, and http modes
+	// BuildMS records construction cost per backend name.
+	BuildMS map[string]float64
+
+	closers []func() error
+}
+
+// NewStaticSet builds the static backend group over g. dir receives the
+// SLIX file and the out-of-core spill; withHTTP adds the two HTTP modes.
+// On error every resource already acquired is released.
+func NewStaticSet(g *sling.Graph, opt *sling.Options, dir string, withHTTP bool) (set *StaticSet, err error) {
+	set = &StaticSet{BuildMS: make(map[string]float64)}
+	defer func() {
+		if err != nil {
+			set.Close()
+			set = nil
+		}
+	}()
+
+	ix, ms, err := timed(func() (*sling.Index, error) { return sling.Build(g, opt) })
+	if err != nil {
+		return nil, fmt.Errorf("conformance: memory build: %w", err)
+	}
+	set.Ref = memBackend{ix: ix}
+	set.BuildMS["memory"] = ms
+
+	path := filepath.Join(dir, "conformance.slix")
+	if err := ix.Save(path); err != nil {
+		return nil, fmt.Errorf("conformance: saving SLIX: %w", err)
+	}
+	di, ms, err := timed(func() (*sling.DiskIndex, error) {
+		return sling.OpenDiskWithOptions(path, g, &sling.DiskOptions{CacheBytes: 1 << 16})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: opening disk index: %w", err)
+	}
+	set.closers = append(set.closers, di.Close)
+	set.Others = append(set.Others, diskBackend{di: di})
+	set.BuildMS["disk"] = ms
+
+	ooc, ms, err := timed(func() (*sling.Index, error) {
+		return sling.BuildOutOfCore(g, opt, dir, 1<<20)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: out-of-core build: %w", err)
+	}
+	set.Others = append(set.Others, oocBackend{memBackend{ix: ooc}})
+	set.BuildMS["ooc"] = ms
+
+	if withHTTP {
+		n := g.NumNodes()
+		memSrv, err := sserver(server.New(ix, nil))
+		if err != nil {
+			return nil, fmt.Errorf("conformance: memory server: %w", err)
+		}
+		set.Others = append(set.Others, NewHTTPBackend("http-memory", memSrv, n, false))
+		diskSrv, err := sserver(server.NewDisk(di, nil, server.Config{}))
+		if err != nil {
+			return nil, fmt.Errorf("conformance: disk server: %w", err)
+		}
+		set.Others = append(set.Others, NewHTTPBackend("http-disk", diskSrv, n, false))
+	}
+	return set, nil
+}
+
+// sserver flattens the (server, error) constructor pair to an
+// http.Handler.
+func sserver(s *server.Server, err error) (http.Handler, error) { return s, err }
+
+// Close releases every resource the set owns.
+func (s *StaticSet) Close() {
+	for _, c := range s.closers {
+		c()
+	}
+}
+
+// All returns the reference followed by the other backends.
+func (s *StaticSet) All() []Backend {
+	return append([]Backend{s.Ref}, s.Others...)
+}

@@ -1,0 +1,135 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"sling/internal/workload"
+)
+
+// matrixOptions returns the time-budgeted test matrix: the full family
+// × config grid in normal mode, two cheap families at one config under
+// -short or the race detector (where instrumentation makes the full
+// sweep ~15x slower; the CI conformance job runs it un-instrumented).
+func matrixOptions(t *testing.T) Options {
+	t.Helper()
+	names := []string{"er", "powerlaw", "grid", "star", "bipartite", "dag", "disconnected", "degenerate"}
+	configs := DefaultConfigs()
+	if testing.Short() || raceEnabled {
+		names = []string{"er", "degenerate"}
+		configs = []Config{{C: 0.6, Eps: 0.1}}
+	}
+	fams, err := workload.ParseFamilies(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Families: fams,
+		Configs:  configs,
+		Dir:      t.TempDir(),
+		HTTP:     true,
+		Dynamic:  true,
+		Logf:     t.Logf,
+	}
+}
+
+// TestMatrix is the conformance gate: every backend × family × config
+// cell must hold the ε guarantee, the invariants, and bitwise
+// cross-backend equivalence.
+func TestMatrix(t *testing.T) {
+	o := matrixOptions(t)
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if !c.Pass {
+			t.Errorf("%s/%s (c=%g eps=%g): %v", c.Family, c.Backend, c.C, c.Eps, c.Violations)
+		}
+	}
+	if !rep.AllPass {
+		t.Fatalf("%d of %d cells failed", rep.Failures, len(rep.Cells))
+	}
+	// The matrix must really cover what it claims: all backend modes on
+	// every (family, config) cell.
+	wantBackends := []string{
+		"memory", "disk", "ooc", "dynamic-stale", "dynamic-rebuilt",
+		"http-memory", "http-disk", "http-dynamic",
+	}
+	sort.Strings(wantBackends)
+	if len(rep.Backends) != len(wantBackends) {
+		t.Fatalf("backends covered: %v, want %v", rep.Backends, wantBackends)
+	}
+	for i, name := range wantBackends {
+		if rep.Backends[i] != name {
+			t.Fatalf("backends covered: %v, want %v", rep.Backends, wantBackends)
+		}
+	}
+	wantCells := len(o.Families) * len(o.Configs) * len(wantBackends)
+	if len(rep.Cells) != wantCells {
+		t.Fatalf("matrix has %d cells, want %d", len(rep.Cells), wantCells)
+	}
+	if rep.MinHeadroom <= 0 {
+		t.Fatalf("min eps headroom %.5f not positive", rep.MinHeadroom)
+	}
+}
+
+func TestRunValidatesOptions(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("missing Dir accepted")
+	}
+}
+
+// TestReportAndBenchShape pins the JSON surface the CI artifact and any
+// downstream tooling consume.
+func TestReportAndBenchShape(t *testing.T) {
+	fams, _ := workload.ParseFamilies([]string{"er"})
+	rep, err := Run(Options{
+		Families: fams,
+		Configs:  []Config{{C: 0.6, Eps: 0.1}},
+		Dir:      t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Cells []struct {
+			Family     string    `json:"family"`
+			Backend    string    `json:"backend"`
+			MaxErr     *float64  `json:"max_err"`
+			Headroom   *float64  `json:"eps_headroom"`
+			Violations *[]string `json:"violations"`
+			Pass       *bool     `json:"pass"`
+		} `json:"cells"`
+		AllPass *bool `json:"all_pass"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.AllPass == nil || len(decoded.Cells) == 0 {
+		t.Fatalf("report JSON missing cells/all_pass: %s", buf.String())
+	}
+	for _, c := range decoded.Cells {
+		if c.MaxErr == nil || c.Headroom == nil || c.Violations == nil || c.Pass == nil {
+			t.Fatalf("cell %s/%s missing required fields", c.Family, c.Backend)
+		}
+	}
+
+	bench := rep.Bench()
+	if len(bench.Families) != 1 || bench.Families[0].Family != "er" {
+		t.Fatalf("bench families: %+v", bench.Families)
+	}
+	fb := bench.Families[0]
+	if fb.BuildMS <= 0 || fb.AvgQueryUS <= 0 || fb.Cells == 0 {
+		t.Fatalf("bench aggregates not populated: %+v", fb)
+	}
+	if !bench.AllPass || bench.MinHeadroom <= 0 {
+		t.Fatalf("bench outcome: %+v", bench)
+	}
+}

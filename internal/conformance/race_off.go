@@ -1,0 +1,9 @@
+//go:build !race
+
+package conformance
+
+// raceEnabled reports whether the race detector is compiled in. The
+// matrix tests shrink under it: instrumentation slows the full sweep
+// ~15x, and race mode is about concurrency, not matrix coverage — the
+// CI conformance job runs the full matrix un-instrumented.
+const raceEnabled = false

@@ -1,0 +1,113 @@
+package conformance
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// WriteJSON emits the full report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FamilyBench aggregates one family's cells into the benchmark
+// trajectory's shape: how expensive the family is to index and query,
+// and how close it comes to the ε guarantee.
+type FamilyBench struct {
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	// BuildMS is the mean in-memory index build time across configs.
+	BuildMS float64 `json:"build_ms"`
+	// AvgQueryUS is the mean per-answer latency across all backends and
+	// configs (HTTP modes included, so it tracks the serving stack).
+	AvgQueryUS float64 `json:"avg_query_us"`
+	// MaxErr and MinHeadroom are the family's worst observed additive
+	// error and tightest ε margin across every cell.
+	MaxErr      float64 `json:"max_err"`
+	MinHeadroom float64 `json:"min_eps_headroom"`
+	Cells       int     `json:"cells"`
+	Failures    int     `json:"failures"`
+}
+
+// Bench is the BENCH_conformance.json document: per-family aggregates
+// plus the run's global outcome, emitted by `slingtool conformance` and
+// uploaded as a CI artifact.
+type Bench struct {
+	Seed        uint64        `json:"seed"`
+	Configs     []Config      `json:"configs"`
+	Backends    []string      `json:"backends"`
+	Families    []FamilyBench `json:"families"`
+	WorstErr    float64       `json:"worst_err"`
+	MinHeadroom float64       `json:"min_eps_headroom"`
+	AllPass     bool          `json:"all_pass"`
+	ElapsedMS   float64       `json:"elapsed_ms"`
+}
+
+// Bench aggregates the report per family.
+func (r *Report) Bench() Bench {
+	byFam := map[string]*FamilyBench{}
+	order := []string{}
+	builds := map[string]int{}
+	for _, c := range r.Cells {
+		fb, ok := byFam[c.Family]
+		if !ok {
+			fb = &FamilyBench{Family: c.Family, N: c.N, M: c.M, MinHeadroom: math.Inf(1)}
+			byFam[c.Family] = fb
+			order = append(order, c.Family)
+		}
+		fb.Cells++
+		if !c.Pass {
+			fb.Failures++
+		}
+		if c.Backend == "memory" {
+			fb.BuildMS += c.BuildMS
+			builds[c.Family]++
+		}
+		fb.AvgQueryUS += c.AvgQueryUS
+		if c.MaxErr > fb.MaxErr {
+			fb.MaxErr = c.MaxErr
+		}
+		if c.Headroom < fb.MinHeadroom {
+			fb.MinHeadroom = c.Headroom
+		}
+	}
+	sort.Strings(order)
+	b := Bench{
+		Seed: r.Seed, Configs: r.Configs, Backends: r.Backends,
+		WorstErr: r.WorstErr, MinHeadroom: r.MinHeadroom,
+		AllPass: r.AllPass, ElapsedMS: r.ElapsedMS,
+	}
+	for _, name := range order {
+		fb := byFam[name]
+		if n := builds[name]; n > 0 {
+			fb.BuildMS /= float64(n)
+		}
+		fb.AvgQueryUS /= float64(fb.Cells)
+		if math.IsInf(fb.MinHeadroom, 1) {
+			fb.MinHeadroom = 0
+		}
+		b.Families = append(b.Families, *fb)
+	}
+	return b
+}
+
+// SaveBench writes the Bench document to path as indented JSON.
+func (r *Report) SaveBench(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Bench()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -107,6 +107,42 @@ func PairError(truth *power.Scores, u, v graph.NodeID, est float64) float64 {
 	return math.Abs(est - truth.At(int(u), int(v)))
 }
 
+// SymmetryGap returns the largest |s(i,j) − s(j,i)| of an estimate
+// matrix. Exact SimRank is symmetric, so for an index whose join is
+// mathematically symmetric the gap measures only float summation-order
+// effects; the conformance harness bounds it near machine precision.
+func SymmetryGap(s *power.Scores) float64 {
+	worst := 0.0
+	for i := 0; i < s.N; i++ {
+		for j := i + 1; j < s.N; j++ {
+			if d := math.Abs(s.At(i, j) - s.At(j, i)); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// RangeViolation returns how far any entry of s leaves [lo, hi]
+// (0 when every score is in range).
+func RangeViolation(s *power.Scores, lo, hi float64) float64 {
+	return RangeViolationSlice(s.Data, lo, hi)
+}
+
+// RangeViolationSlice is RangeViolation over a raw score slice.
+func RangeViolationSlice(scores []float64, lo, hi float64) float64 {
+	worst := 0.0
+	for _, v := range scores {
+		if d := lo - v; d > worst {
+			worst = d
+		}
+		if d := v - hi; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
 // ScoredPair is an unordered node pair with a score.
 type ScoredPair struct {
 	U, V  graph.NodeID

@@ -240,3 +240,31 @@ func TestRowMaxErrorAndPairError(t *testing.T) {
 		t.Fatalf("pair error %v, want 0.03", e)
 	}
 }
+
+func TestSymmetryGap(t *testing.T) {
+	s := &power.Scores{N: 3, Data: []float64{
+		1, 0.2, 0.1,
+		0.2, 1, 0.05,
+		0.1, 0.08, 1,
+	}}
+	if g := SymmetryGap(s); math.Abs(g-0.03) > 1e-12 {
+		t.Fatalf("symmetry gap %v, want 0.03", g)
+	}
+	s.Data[5] = 0.08
+	if g := SymmetryGap(s); g != 0 {
+		t.Fatalf("symmetric matrix has gap %v", g)
+	}
+}
+
+func TestRangeViolation(t *testing.T) {
+	s := &power.Scores{N: 2, Data: []float64{1, 0.5, -0.02, 1.1}}
+	if v := RangeViolation(s, 0, 1); math.Abs(v-0.1) > 1e-12 {
+		t.Fatalf("violation %v, want 0.1 (the worst side)", v)
+	}
+	if v := RangeViolationSlice([]float64{0, 0.5, 1}, 0, 1); v != 0 {
+		t.Fatalf("in-range scores violate by %v", v)
+	}
+	if v := RangeViolationSlice([]float64{-0.3}, 0, 1); math.Abs(v-0.3) > 1e-12 {
+		t.Fatalf("low-side violation %v, want 0.3", v)
+	}
+}

@@ -1,0 +1,238 @@
+package workload
+
+// Graph families for the differential-conformance matrix.
+//
+// The dataset registry above reproduces the paper's Table 3 stand-ins;
+// the families here instead span the *structural* space a SimRank service
+// meets in the wild — random, heavy-tailed, regular, hub-dominated,
+// layered, acyclic, disconnected, and degenerate graphs — at sizes small
+// enough that the power method provides exact ground truth for every
+// cell of the conformance matrix (internal/conformance).
+
+import (
+	"fmt"
+	"math"
+
+	"sling/internal/graph"
+	"sling/internal/rng"
+)
+
+// Family is a named deterministic graph generator. Gen materializes the
+// family at roughly n nodes; seed fixes all randomness (purely structured
+// families ignore it), so the same (name, n, seed) always yields the same
+// graph.
+type Family struct {
+	Name string
+	// Desc is a one-line description for reports.
+	Desc string
+	Gen  func(n int, seed uint64) *graph.Graph
+}
+
+// Families returns the conformance generator registry (a copy): every
+// structural family the differential matrix exercises, in fixed order.
+func Families() []Family {
+	out := make([]Family, len(families))
+	copy(out, families)
+	return out
+}
+
+// FamilyByName looks a family up by its registry name.
+func FamilyByName(name string) (Family, bool) {
+	for _, f := range families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+var families = []Family{
+	{
+		Name: "er",
+		Desc: "Erdős–Rényi: uniform random directed edges, m ≈ 5n",
+		Gen: func(n int, seed uint64) *graph.Graph {
+			if n < 2 {
+				n = 2
+			}
+			return genUniform(n, 5*n, true, rng.New(seed))
+		},
+	},
+	{
+		Name: "powerlaw",
+		Desc: "Barabási–Albert-style preferential attachment: heavy-tailed in-degrees",
+		Gen: func(n int, seed uint64) *graph.Graph {
+			if n < 2 {
+				n = 2
+			}
+			return genPrefAttach(n, 5*n, true, rng.New(seed))
+		},
+	},
+	{
+		Name: "grid",
+		Desc: "2D lattice (undirected): regular degrees, long shortest paths",
+		Gen: func(n int, seed uint64) *graph.Graph {
+			side := int(math.Sqrt(float64(n)))
+			if side < 2 {
+				side = 2
+			}
+			b := graph.NewBuilder(side * side)
+			b.Undirected()
+			at := func(r, c int) graph.NodeID { return graph.NodeID(r*side + c) }
+			for r := 0; r < side; r++ {
+				for c := 0; c < side; c++ {
+					if c+1 < side {
+						b.AddEdge(at(r, c), at(r, c+1))
+					}
+					if r+1 < side {
+						b.AddEdge(at(r, c), at(r+1, c))
+					}
+				}
+			}
+			return b.Build()
+		},
+	},
+	{
+		Name: "star",
+		Desc: "undirected star: one hub, n−1 spokes (extreme degree skew)",
+		Gen: func(n int, seed uint64) *graph.Graph {
+			if n < 2 {
+				n = 2
+			}
+			b := graph.NewBuilder(n)
+			b.Undirected()
+			for v := 1; v < n; v++ {
+				b.AddEdge(0, graph.NodeID(v))
+			}
+			return b.Build()
+		},
+	},
+	{
+		Name: "bipartite",
+		Desc: "directed bipartite A→B: every A node is a reverse-walk sink",
+		Gen: func(n int, seed uint64) *graph.Graph {
+			if n < 4 {
+				n = 4
+			}
+			a := n / 2
+			r := rng.New(seed)
+			b := graph.NewBuilder(n)
+			// Each B node cites ~3 distinct A nodes, so B-B pairs share
+			// in-neighbors (positive similarity) while A nodes have
+			// in-degree 0.
+			for v := a; v < n; v++ {
+				for e := 0; e < 3; e++ {
+					b.AddEdge(graph.NodeID(r.Intn(a)), graph.NodeID(v))
+				}
+			}
+			return b.Build()
+		},
+	},
+	{
+		Name: "dag",
+		Desc: "random DAG: edges only from lower to higher topological rank",
+		Gen: func(n int, seed uint64) *graph.Graph {
+			if n < 2 {
+				n = 2
+			}
+			r := rng.New(seed)
+			b := graph.NewBuilder(n)
+			for added := 0; added < 4*n; {
+				u, v := r.Intn(n), r.Intn(n)
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+				added++
+			}
+			return b.Build()
+		},
+	},
+	{
+		Name: "disconnected",
+		Desc: "two Erdős–Rényi islands plus isolated nodes (zero cross-component scores)",
+		Gen: func(n int, seed uint64) *graph.Graph {
+			if n < 6 {
+				n = 6
+			}
+			isolated := 2
+			island := (n - isolated) / 2
+			r := rng.New(seed)
+			b := graph.NewBuilder(n)
+			addIsland := func(lo, size int) {
+				for added := 0; added < 4*size; {
+					u, v := lo+r.Intn(size), lo+r.Intn(size)
+					if u == v {
+						continue
+					}
+					b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+					added++
+				}
+			}
+			addIsland(0, island)
+			addIsland(island, island)
+			// Nodes [2·island, n) stay isolated.
+			return b.Build()
+		},
+	},
+	{
+		Name: "degenerate",
+		Desc: "self-loops, duplicate input edges, and isolated nodes over a random base",
+		Gen: func(n int, seed uint64) *graph.Graph {
+			if n < 4 {
+				n = 4
+			}
+			r := rng.New(seed)
+			b := graph.NewBuilder(n)
+			// Random base over all but the last node (which stays isolated).
+			for added := 0; added < 3*n; {
+				u, v := r.Intn(n-1), r.Intn(n-1)
+				if u == v {
+					continue
+				}
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+				added++
+			}
+			// Self-loops on a third of the nodes; every self-loop inserted
+			// twice, and a handful of base edges repeated, so multi-edge
+			// input is exercised end to end (the builder dedups).
+			for v := 0; v < n-1; v += 3 {
+				b.AddEdge(graph.NodeID(v), graph.NodeID(v))
+				b.AddEdge(graph.NodeID(v), graph.NodeID(v))
+			}
+			for i := 0; i < 5; i++ {
+				u, v := r.Intn(n-1), r.Intn(n-1)
+				if u != v {
+					b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+					b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+				}
+			}
+			return b.Build()
+		},
+	},
+}
+
+// FamilyNames returns the registry names in order, for CLI flag help.
+func FamilyNames() []string {
+	out := make([]string, len(families))
+	for i, f := range families {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// ParseFamilies resolves a comma-free list of family names (already
+// split) into generators, erroring on unknown names.
+func ParseFamilies(names []string) ([]Family, error) {
+	out := make([]Family, 0, len(names))
+	for _, name := range names {
+		f, ok := FamilyByName(name)
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown family %q (have %v)", name, FamilyNames())
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
