@@ -1,0 +1,68 @@
+package sling_test
+
+// Golden exported-API gate: the public surface of package sling is
+// snapshotted in api/sling.txt, and any drift — a method gaining or
+// losing a parameter, a type appearing or vanishing — fails here (and in
+// the CI api job) until the snapshot is refreshed deliberately with
+// scripts/apisnap.sh. This is what keeps the Querier unification from
+// silently re-fragmenting: a new backend that invents its own query
+// signature shows up as a reviewable diff, not a drive-by.
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// declarationSection distills `go doc -all` output to the exported
+// declarations — including method signatures, struct fields, and
+// interface bodies — dropping doc prose (4-space indented), blank
+// lines, and in-body comments: the same filter scripts/apisnap.sh
+// applies.
+func declarationSection(doc string) string {
+	var out []string
+	capture := false
+	for _, line := range strings.Split(doc, "\n") {
+		switch line {
+		case "CONSTANTS", "VARIABLES", "FUNCTIONS", "TYPES":
+			capture = true
+		}
+		if !capture || line == "" ||
+			strings.HasPrefix(line, "    ") ||
+			strings.HasPrefix(strings.TrimLeft(line, "\t"), "//") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if len(out) == 0 {
+		return ""
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+func TestExportedAPISnapshot(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not on PATH; the CI api job still gates the snapshot")
+	}
+	out, err := exec.Command(goBin, "doc", "-all", "sling").Output()
+	if err != nil {
+		t.Skipf("go doc unavailable in this environment: %v", err)
+	}
+	got := declarationSection(string(out))
+	if got == "" {
+		t.Fatal("go doc output contained no declarations")
+	}
+	wantBytes, err := os.ReadFile("api/sling.txt")
+	if err != nil {
+		t.Fatalf("reading golden: %v (regenerate with scripts/apisnap.sh > api/sling.txt)", err)
+	}
+	want := strings.TrimRight(string(wantBytes), "\n") + "\n"
+	if got != want {
+		t.Fatalf("exported API surface drifted from api/sling.txt.\n"+
+			"If the change is intentional, refresh the golden:\n\n"+
+			"    scripts/apisnap.sh > api/sling.txt\n\n"+
+			"--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}

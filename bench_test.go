@@ -5,6 +5,7 @@
 package sling
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -326,14 +327,17 @@ func BenchmarkAblationEnhanceQuery(b *testing.B) {
 
 func BenchmarkFacadeSimRank(b *testing.B) {
 	s := setup(b, "GrQc")
-	ix, err := Build(s.g, &Options{Eps: benchEps, Seed: 1})
+	ix, err := Build(s.g, WithEps(benchEps), WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := s.pairs[i%len(s.pairs)]
-		ix.SimRank(p.U, p.V)
+		if _, err := ix.SimRank(ctx, p.U, p.V); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -386,14 +390,17 @@ func BenchmarkTopK(b *testing.B) {
 // pooled single-source evaluation plus heap selection.
 func BenchmarkTopKEndToEnd(b *testing.B) {
 	s := setup(b, "GrQc")
-	ix, err := Build(s.g, &Options{Eps: benchEps, Seed: 1})
+	ix, err := Build(s.g, WithEps(benchEps), WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix.TopK(s.nodes[i%len(s.nodes)], 10)
+		if _, err := ix.TopK(ctx, s.nodes[i%len(s.nodes)], 10); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -405,7 +412,9 @@ func BenchmarkSingleSourceBatch(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(map[int]string{1: "workers-1", 2: "workers-2", 4: "workers-4", 8: "workers-8"}[workers], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				s.sling.SingleSourceBatch(us, workers)
+				if _, err := s.sling.SingleSourceBatch(nil, us, workers); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -32,6 +32,10 @@
 //	         ops, epoch swaps) while edge updates stream in at each
 //	         -update-rates setting (not a paper figure; bounds the
 //	         dynamic-graph serving tier)
+//	querier  every facade backend (memory, disk, dynamic) driven through
+//	         the one sling.Querier interface: pair latency, top-k
+//	         latency, and batch throughput from a single benchmark loop,
+//	         so any future backend benches for free (not a paper figure)
 //	all      everything above
 //
 // The default "fast" preset uses ε=0.1 so the full sweep finishes on a
@@ -42,6 +46,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +58,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"sling"
 	"sling/internal/core"
 	"sling/internal/dynamic"
 	"sling/internal/eval"
@@ -66,7 +72,7 @@ import (
 )
 
 var (
-	expFlag      = flag.String("exp", "perf", "experiment: table3|fig1|fig2|fig3|fig4|perf|fig5|fig6|fig7|acc|fig9|fig10|ablation|throughput|diskqps|dynamic|all")
+	expFlag      = flag.String("exp", "perf", "experiment: table3|fig1|fig2|fig3|fig4|perf|fig5|fig6|fig7|acc|fig9|fig10|ablation|throughput|diskqps|dynamic|querier|all")
 	datasetsFlag = flag.String("datasets", "", "comma-separated dataset names (default: per-experiment)")
 	scaleFlag    = flag.Float64("scale", 1, "dataset scale factor")
 	presetFlag   = flag.String("preset", "fast", "parameter preset: fast (eps=0.1) or paper (eps=0.025)")
@@ -135,6 +141,10 @@ func run() error {
 			if err := runDynamic(); err != nil {
 				return err
 			}
+		case "querier":
+			if err := runQuerier(); err != nil {
+				return err
+			}
 		case "all":
 			runTable3()
 			if err := runPerf(); err != nil {
@@ -159,6 +169,9 @@ func run() error {
 				return err
 			}
 			if err := runDynamic(); err != nil {
+				return err
+			}
+			if err := runQuerier(); err != nil {
 				return err
 			}
 		default:
@@ -782,7 +795,9 @@ func runThroughput() error {
 		var serial time.Duration
 		for _, th := range threads {
 			start := time.Now()
-			ix.SingleSourceBatch(sources, th)
+			if _, err := ix.SingleSourceBatch(nil, sources, th); err != nil {
+				return err
+			}
 			total := time.Since(start)
 			if th == threads[0] {
 				serial = total
@@ -1064,6 +1079,106 @@ func runDynamic() error {
 		}
 	}
 	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+// ------------------------------------------------------------- querier
+
+// runQuerier drives every facade backend through the one sling.Querier
+// interface with a single benchmark loop: single-pair latency, top-10
+// latency, and batch single-source throughput per backend. Because the
+// loop only sees the interface, a future backend (sharded, replicated,
+// remote) lands in this table by adding one constructor line.
+func runQuerier() error {
+	def := []workload.Spec{}
+	for _, name := range []string{"GrQc", "Wiki-Vote"} {
+		s, ok := workload.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown default dataset %q", name)
+		}
+		def = append(def, s)
+	}
+	specs, err := selectDatasets(def)
+	if err != nil {
+		return err
+	}
+	slingOpt, _, _, err := params(*presetFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Querier: the uniform interface across backends (preset %s, scale %g) ==\n",
+		*presetFlag, *scaleFlag)
+	w := newTab()
+	fmt.Fprintln(w, "dataset\tbackend\tpair\ttop-10\tbatch sources/s")
+	ctx := context.Background()
+	for _, spec := range specs {
+		g := spec.Generate(*scaleFlag)
+		ix, err := sling.Build(g, sling.WithOptions(slingOpt))
+		if err != nil {
+			return fmt.Errorf("%s: build: %w", spec.Name, err)
+		}
+		dir, err := os.MkdirTemp("", "slingbench-querier")
+		if err != nil {
+			return err
+		}
+		path := dir + "/index.slix"
+		if err := ix.Save(path); err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		di, err := sling.OpenDiskWithOptions(path, g, &sling.DiskOptions{CacheBytes: 4 << 20, Workers: 4})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		dx, err := sling.NewDynamic(g, &sling.DynamicOptions{NumWalks: *dynWalksFlag, Workers: 4},
+			sling.WithOptions(slingOpt))
+		if err != nil {
+			di.Close()
+			os.RemoveAll(dir)
+			return err
+		}
+
+		pairs := workload.RandomPairs(g, *pairsFlag, *seedFlag+23)
+		sources := workload.RandomNodes(g, *sourcesFlag, *seedFlag+29)
+		backends := []struct {
+			name string
+			q    sling.Querier
+		}{
+			{"memory", ix},
+			{"disk", di},
+			{"dynamic", dx},
+		}
+		var benchErr error
+		for _, be := range backends {
+			q := be.q
+			pairT, _ := timeBox(len(pairs), *budgetFlag, func(i int) {
+				if _, err := q.SimRank(ctx, pairs[i].U, pairs[i].V); err != nil && benchErr == nil {
+					benchErr = err
+				}
+			})
+			topT, _ := timeBox(len(sources), *budgetFlag, func(i int) {
+				if _, err := q.TopK(ctx, sources[i], 10); err != nil && benchErr == nil {
+					benchErr = err
+				}
+			})
+			start := time.Now()
+			if _, err := q.SingleSourceBatch(ctx, sources); err != nil && benchErr == nil {
+				benchErr = err
+			}
+			batchQPS := float64(len(sources)) / time.Since(start).Seconds()
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.0f\n",
+				spec.Name, be.name, fmtDur(pairT), fmtDur(topT), batchQPS)
+			w.Flush()
+		}
+		dx.Close()
+		di.Close()
+		os.RemoveAll(dir)
+		if benchErr != nil {
+			return fmt.Errorf("%s: querier bench: %w", spec.Name, benchErr)
+		}
+	}
 	fmt.Println()
 	return nil
 }

@@ -95,12 +95,12 @@ func main() {
 	if *dynamic {
 		start := time.Now()
 		dx, err := sling.NewDynamic(g,
-			&sling.Options{Eps: *eps, Workers: *workers, Seed: *seed},
 			&sling.DynamicOptions{
 				RebuildThreshold: *rebuildThreshold,
 				NumWalks:         *dynWalks,
 				Depth:            *dynDepth,
-			})
+			},
+			sling.WithEps(*eps), sling.WithWorkers(*workers), sling.WithSeed(*seed))
 		if err != nil {
 			log.Fatalf("building dynamic index: %v", err)
 		}
@@ -134,7 +134,7 @@ func main() {
 			log.Printf("index loaded from %s (%d entries)", *indexPath, ix.Stats().Entries)
 		} else {
 			start := time.Now()
-			ix, err = sling.Build(g, &sling.Options{Eps: *eps, Workers: *workers, Seed: *seed})
+			ix, err = sling.Build(g, sling.WithEps(*eps), sling.WithWorkers(*workers), sling.WithSeed(*seed))
 			if err != nil {
 				log.Fatalf("building index: %v", err)
 			}

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -109,13 +110,16 @@ func cmdBuild(args []string) error {
 		return err
 	}
 	fmt.Printf("graph: n=%d m=%d\n", g.NumNodes(), g.NumEdges())
-	opt := &sling.Options{Eps: *eps, C: *c, Workers: *workers, Seed: *seed, Enhance: *enhance}
+	opts := []sling.BuildOption{
+		sling.WithEps(*eps), sling.WithC(*c), sling.WithWorkers(*workers),
+		sling.WithSeed(*seed), sling.WithEnhance(*enhance),
+	}
 	start := time.Now()
 	var ix *sling.Index
 	if *oocDir != "" {
-		ix, err = sling.BuildOutOfCore(g, opt, *oocDir, *memMiB<<20)
+		ix, err = sling.BuildOutOfCore(g, *oocDir, *memMiB<<20, opts...)
 	} else {
-		ix, err = sling.Build(g, opt)
+		ix, err = sling.Build(g, opts...)
 	}
 	if err != nil {
 		return err
@@ -194,27 +198,25 @@ func cmdQuery(args []string) error {
 		}
 		pairs = append(pairs, [2]sling.NodeID{u, v})
 	}
+	// Memory and disk share one query path: both facade types implement
+	// sling.Querier, so the loop below serves any backend.
+	var q sling.Querier
 	if *disk {
-		di, err := sling.OpenDisk(*indexPath, g)
-		if err != nil {
-			return err
-		}
-		defer di.Close()
-		for i, p := range pairs {
-			score, err := di.SimRank(p[0], p[1])
-			if err != nil {
-				return err
-			}
-			fmt.Printf("s(%s, %s) = %.6f\n", rest[2*i], rest[2*i+1], score)
-		}
-		return nil
+		q, err = sling.OpenDisk(*indexPath, g)
+	} else {
+		q, err = sling.Open(*indexPath, g)
 	}
-	ix, err := sling.Open(*indexPath, g)
 	if err != nil {
 		return err
 	}
+	defer q.Close()
+	ctx := context.Background()
 	for i, p := range pairs {
-		fmt.Printf("s(%s, %s) = %.6f\n", rest[2*i], rest[2*i+1], ix.SimRank(p[0], p[1]))
+		score, err := q.SimRank(ctx, p[0], p[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("s(%s, %s) = %.6f\n", rest[2*i], rest[2*i+1], score)
 	}
 	return nil
 }
@@ -327,7 +329,10 @@ func cmdSource(args []string) error {
 		return err
 	}
 	start := time.Now()
-	scores := ix.SingleSource(id, nil)
+	scores, err := ix.SingleSource(context.Background(), id, nil)
+	if err != nil {
+		return err
+	}
 	elapsed := time.Since(start)
 	type scored struct {
 		v     int

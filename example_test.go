@@ -1,6 +1,7 @@
 package sling_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,12 +19,21 @@ func Example() {
 	b.AddEdge(3, 1)
 	g := b.Build()
 
-	ix, err := sling.Build(g, &sling.Options{Seed: 42})
+	ix, err := sling.Build(g, sling.WithSeed(42))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("s(0,1) = %.2f\n", ix.SimRank(0, 1))
-	fmt.Printf("s(0,2) = %.2f\n", ix.SimRank(0, 2))
+	ctx := context.Background()
+	s01, err := ix.SimRank(ctx, 0, 1)
+	if err != nil {
+		panic(err)
+	}
+	s02, err := ix.SimRank(ctx, 0, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("s(0,1) = %.2f\n", s01)
+	fmt.Printf("s(0,2) = %.2f\n", s02)
 	// Output:
 	// s(0,1) = 0.30
 	// s(0,2) = 0.00
@@ -38,11 +48,15 @@ func ExampleIndex_TopK() {
 	} {
 		b.AddEdge(e[0], e[1])
 	}
-	ix, err := sling.Build(b.Build(), &sling.Options{Seed: 7})
+	ix, err := sling.Build(b.Build(), sling.WithSeed(7))
 	if err != nil {
 		panic(err)
 	}
-	for _, s := range ix.TopK(0, 2) {
+	top, err := ix.TopK(context.Background(), 0, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range top {
 		fmt.Printf("node %d score %.2f\n", s.Node, s.Score)
 	}
 	// Output:
@@ -56,14 +70,43 @@ func ExampleIndex_SingleSource() {
 	b.AddEdge(2, 1)
 	b.AddEdge(3, 0)
 	b.AddEdge(3, 1)
-	ix, err := sling.Build(b.Build(), &sling.Options{Seed: 1})
+	ix, err := sling.Build(b.Build(), sling.WithSeed(1))
 	if err != nil {
 		panic(err)
 	}
-	scores := ix.SingleSource(0, nil)
+	scores, err := ix.SingleSource(context.Background(), 0, nil)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("s(0,1) = %.2f\n", scores[1])
 	// Output:
 	// s(0,1) = 0.30
+}
+
+// Code written against Querier serves from any backend — here the same
+// report runs over the in-memory index and could equally take a
+// DiskIndex or DynamicIndex.
+func ExampleQuerier() {
+	b := sling.NewGraphBuilder(4)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 1)
+	b.AddEdge(3, 0)
+	b.AddEdge(3, 1)
+	ix, err := sling.Build(b.Build(), sling.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+
+	report := func(q sling.Querier, u, v sling.NodeID) {
+		s, err := q.SimRank(context.Background(), u, v)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s backend: s(%d,%d) = %.2f\n", q.Meta().Name, u, v, s)
+	}
+	report(ix, 0, 1)
+	// Output:
+	// memory backend: s(0,1) = 0.30
 }
 
 func ExampleLoadEdgeList() {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -50,7 +51,7 @@ func main() {
 	g := b.Build()
 	fmt.Printf("citation network: %d papers, %d citations\n", g.NumNodes(), g.NumEdges())
 
-	ix, err := sling.Build(g, &sling.Options{Eps: 0.05, Seed: 11})
+	ix, err := sling.Build(g, sling.WithEps(0.05), sling.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,10 +59,14 @@ func main() {
 		ix.Stats().Entries, float64(ix.Bytes())/1024, ix.ErrorBound())
 
 	// Related-paper search for a few query papers.
+	ctx := context.Background()
 	queries := []sling.NodeID{150, 707, 1207}
 	totalHits, totalRecs := 0, 0
 	for _, q := range queries {
-		top := ix.TopK(q, 10)
+		top, err := ix.TopK(ctx, q, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
 		hits := 0
 		for _, rec := range top {
 			if topic(int(rec.Node)) == topic(int(q)) {

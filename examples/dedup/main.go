@@ -83,7 +83,7 @@ func main() {
 	fmt.Printf("follow graph: %d accounts, %d follows, %d duplicate pairs planted\n",
 		g.NumNodes(), g.NumEdges(), pairs)
 
-	ix, err := sling.Build(g, &sling.Options{Eps: 0.05, Seed: 17})
+	ix, err := sling.Build(g, sling.WithEps(0.05), sling.WithSeed(17))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 // Quickstart: build a SLING index over a toy graph and run the three
-// query types (single pair, single source, top-k).
+// query types (single pair, single source, top-k) through the Querier
+// surface every backend shares.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,22 +32,35 @@ func main() {
 	}
 	g := b.Build()
 
-	// nil options = the paper's defaults: c = 0.6, ε = 0.025.
-	ix, err := sling.Build(g, &sling.Options{Seed: 42})
+	// Unset options take the paper's defaults: c = 0.6, ε = 0.025.
+	ix, err := sling.Build(g, sling.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer ix.Close()
 	fmt.Printf("index: %d hitting-probability entries, %d bytes, error bound %.4g\n\n",
 		ix.Stats().Entries, ix.Bytes(), ix.ErrorBound())
 
+	ctx := context.Background()
+	pair := func(u, v sling.NodeID) float64 {
+		s, err := ix.SimRank(ctx, u, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+
 	// Single pair: nodes 0 and 1 share both in-neighbors, so they are
 	// highly similar (exact SimRank here is c·(1+c)/2 = 0.48).
-	fmt.Printf("s(0, 1) = %.4f   (same citers -> similar)\n", ix.SimRank(0, 1))
-	fmt.Printf("s(0, 5) = %.4f   (unrelated)\n", ix.SimRank(0, 5))
-	fmt.Printf("s(2, 3) = %.4f   (both cited by 4)\n\n", ix.SimRank(2, 3))
+	fmt.Printf("s(0, 1) = %.4f   (same citers -> similar)\n", pair(0, 1))
+	fmt.Printf("s(0, 5) = %.4f   (unrelated)\n", pair(0, 5))
+	fmt.Printf("s(2, 3) = %.4f   (both cited by 4)\n\n", pair(2, 3))
 
 	// Single source: all similarities from node 0 at once.
-	scores := ix.SingleSource(0, nil)
+	scores, err := ix.SingleSource(ctx, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("single-source from node 0:")
 	for v, s := range scores {
 		fmt.Printf("  s(0, %d) = %.4f\n", v, s)
@@ -53,8 +68,12 @@ func main() {
 	fmt.Println()
 
 	// Top-k: the most similar nodes to 0.
+	top, err := ix.TopK(ctx, 0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("top-2 nodes most similar to 0:")
-	for _, sc := range ix.TopK(0, 2) {
+	for _, sc := range top {
 		fmt.Printf("  node %d  score %.4f\n", sc.Node, sc.Score)
 	}
 }

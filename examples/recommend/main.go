@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -60,7 +61,7 @@ func main() {
 	fmt.Printf("purchase graph: %d users, %d items, %d purchases\n",
 		numUsers, numItems, g.NumEdges())
 
-	ix, err := sling.Build(g, &sling.Options{Eps: 0.05, Seed: 5})
+	ix, err := sling.Build(g, sling.WithEps(0.05), sling.WithSeed(5))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,9 +71,13 @@ func main() {
 	// "Customers who bought this also liked": top similar items for one
 	// item per section.
 	correct, total := 0, 0
+	ctx := context.Background()
 	for sec := 0; sec < numGroups; sec++ {
 		query := sec*perSection + 7
-		scores := ix.SingleSource(item(query), nil)
+		scores, err := ix.SingleSource(ctx, item(query), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
 		type rec struct {
 			item  int
 			score float64

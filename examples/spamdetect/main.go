@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -75,8 +76,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(workDir)
-	ix, err := sling.BuildOutOfCore(g, &sling.Options{Eps: 0.1, Seed: 3},
-		filepath.Join(workDir, "spill"), 4<<20)
+	ix, err := sling.BuildOutOfCore(g, filepath.Join(workDir, "spill"), 4<<20,
+		sling.WithEps(0.1), sling.WithSeed(3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,12 +92,16 @@ func main() {
 	// by heterogeneous pages (cohesion near 0); a farm page is linked by
 	// its fellow farm pages, which share its whole in-neighborhood, so
 	// cohesion sits at the farm's mutual-similarity plateau.
+	ctx := context.Background()
 	cohesion := func(p sling.NodeID) float64 {
 		ins := g.InNeighbors(p)
 		if len(ins) == 0 {
 			return 0
 		}
-		scores := ix.SingleSource(p, nil)
+		scores, err := ix.SingleSource(ctx, p, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sum := 0.0
 		for _, u := range ins {
 			sum += scores[u]
@@ -133,11 +138,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer di.Close()
-	farmPair, err := di.SimRank(sling.NodeID(farmStart+1), sling.NodeID(farmStart+2))
+	farmPair, err := di.SimRank(ctx, sling.NodeID(farmStart+1), sling.NodeID(farmStart+2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	organicPair, err := di.SimRank(100, 2000)
+	organicPair, err := di.SimRank(ctx, 100, 2000)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,8 +2,8 @@
 // every serving backend of this repository — the in-memory index, the
 // disk-resident index over a round-tripped SLIX file, the out-of-core
 // build, the dynamic (updatable) index pre- and post-rebuild, and the
-// HTTP server in memory/disk/dynamic mode — through one shared Backend
-// adapter, over a matrix of graph families × (c, ε) configurations ×
+// HTTP server in memory/disk/dynamic mode — through the one sling.Querier
+// interface, over a matrix of graph families × (c, ε) configurations ×
 // deterministic seeds, and checks every cell against exact power-method
 // SimRank.
 //
@@ -18,7 +18,10 @@
 //     build of the mutated graph, modulo its documented [0,1] clamp);
 //   - invariants: symmetry, s̃(u,u) ≈ 1, score range, and top-k/
 //     source-top selections consistent with the backend's own
-//     single-source row.
+//     single-source row;
+//   - the Querier contract: identical ErrNodeRange for bad nodes,
+//     identical degenerate-k results, pre-cancelled contexts observed
+//     before any work (contract_test.go).
 //
 // The matrix runs three ways: `go test ./internal/conformance`
 // (time-budgeted subset), `slingtool conformance` (full matrix, JSON
@@ -26,6 +29,7 @@
 package conformance
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -38,109 +42,32 @@ import (
 	"sling/internal/server"
 )
 
-// Backend is the uniform query surface the conformance matrix drives.
-// Every serving path in the repository adapts to it; methods mirror the
-// facade's query set, with errors for the fallible (disk, HTTP) paths.
+// Backend is a sling.Querier with a report label. The facade types
+// implement Querier natively, so library backends are the facade values
+// themselves behind a name; only the clamp view and the HTTP wire
+// adapter carry real code.
 type Backend interface {
+	sling.Querier
 	// Name identifies the backend in reports ("memory", "disk", "ooc",
-	// "http-memory", ...).
+	// "http-memory", ...). It may differ from Meta().Name when one kind
+	// serves several roles (e.g. "ooc" is a memory index built
+	// out-of-core).
 	Name() string
-	SimRank(u, v sling.NodeID) (float64, error)
-	SingleSource(u sling.NodeID) ([]float64, error)
-	SingleSourceBatch(us []sling.NodeID) ([][]float64, error)
-	TopK(u sling.NodeID, k int) ([]sling.Scored, error)
-	SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error)
-	// Clamped reports whether the backend clamps scores into [0, 1]
-	// (the dynamic layer does; raw index backends may return up to 1+ε).
-	Clamped() bool
-	Close() error
 }
 
-// memBackend adapts the in-memory facade index — the reference every
-// index-sharing backend is compared against bitwise.
-type memBackend struct {
-	ix *sling.Index
-}
-
-func (b memBackend) Name() string { return "memory" }
-func (b memBackend) SimRank(u, v sling.NodeID) (float64, error) {
-	return b.ix.SimRank(u, v), nil
-}
-func (b memBackend) SingleSource(u sling.NodeID) ([]float64, error) {
-	return b.ix.SingleSource(u, nil), nil
-}
-func (b memBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) {
-	return b.ix.SingleSourceBatch(us), nil
-}
-func (b memBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
-	return b.ix.TopK(u, k), nil
-}
-func (b memBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
-	return b.ix.SourceTop(u, limit), nil
-}
-func (b memBackend) Clamped() bool { return false }
-func (b memBackend) Close() error  { return nil }
-
-// oocBackend is memBackend over an index assembled out-of-core; builds
-// are seed-deterministic, so it must be bitwise-identical to the
-// in-memory build.
-type oocBackend struct {
-	memBackend
-}
-
-func (b oocBackend) Name() string { return "ooc" }
-
-// diskBackend adapts the disk-resident index (Section 5.4) over a
-// round-tripped SLIX file.
-type diskBackend struct {
-	di *sling.DiskIndex
-}
-
-func (b diskBackend) Name() string { return "disk" }
-func (b diskBackend) SimRank(u, v sling.NodeID) (float64, error) {
-	return b.di.SimRank(u, v)
-}
-func (b diskBackend) SingleSource(u sling.NodeID) ([]float64, error) {
-	return b.di.SingleSource(u, nil)
-}
-func (b diskBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) {
-	return b.di.SingleSourceBatch(us)
-}
-func (b diskBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
-	return b.di.TopK(u, k)
-}
-func (b diskBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
-	return b.di.SourceTop(u, limit)
-}
-func (b diskBackend) Clamped() bool { return false }
-func (b diskBackend) Close() error  { return b.di.Close() }
-
-// dynBackend adapts the dynamic (updatable) index. It never closes the
-// wrapped index — the harness owns its lifecycle across the stale and
-// rebuilt phases.
-type dynBackend struct {
+// named labels a Querier for reports. Close passes through, but the
+// harness owns every backend's lifecycle explicitly (StaticSet.closers,
+// the dynamic index's Close), so named never closes on its behalf.
+type named struct {
+	sling.Querier
 	name string
-	dx   *sling.DynamicIndex
 }
 
-func (b dynBackend) Name() string { return b.name }
-func (b dynBackend) SimRank(u, v sling.NodeID) (float64, error) {
-	return b.dx.SimRank(u, v), nil
-}
-func (b dynBackend) SingleSource(u sling.NodeID) ([]float64, error) {
-	return b.dx.SingleSource(u, nil), nil
-}
-func (b dynBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) {
-	return b.dx.SingleSourceBatch(us), nil
-}
-func (b dynBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
-	return b.dx.TopK(u, k), nil
-}
-func (b dynBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
-	return b.dx.SourceTop(u, limit), nil
-}
-func (b dynBackend) Clamped() bool { return true }
-func (b dynBackend) Close() error  { return nil }
+func (n named) Name() string { return n.name }
+func (n named) Close() error { return nil }
+
+// NamedBackend adapts any Querier into a report-labelled Backend.
+func NamedBackend(q sling.Querier, name string) Backend { return named{Querier: q, name: name} }
 
 // clampedBackend views an unclamped backend through the dynamic layer's
 // [0, 1] clamp, recomputing top-k/source-top from the clamped row so
@@ -166,19 +93,24 @@ func clamp01(s float64) float64 {
 }
 
 func (b clampedBackend) Name() string { return b.inner.Name() + "-clamped" }
-func (b clampedBackend) SimRank(u, v sling.NodeID) (float64, error) {
-	s, err := b.inner.SimRank(u, v)
+func (b clampedBackend) Meta() sling.QuerierMeta {
+	m := b.inner.Meta()
+	m.Clamped = true
+	return m
+}
+func (b clampedBackend) SimRank(ctx context.Context, u, v sling.NodeID) (float64, error) {
+	s, err := b.inner.SimRank(ctx, u, v)
 	return clamp01(s), err
 }
-func (b clampedBackend) SingleSource(u sling.NodeID) ([]float64, error) {
-	row, err := b.inner.SingleSource(u)
+func (b clampedBackend) SingleSource(ctx context.Context, u sling.NodeID, out []float64) ([]float64, error) {
+	row, err := b.inner.SingleSource(ctx, u, out)
 	for i, s := range row {
 		row[i] = clamp01(s)
 	}
 	return row, err
 }
-func (b clampedBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) {
-	rows, err := b.inner.SingleSourceBatch(us)
+func (b clampedBackend) SingleSourceBatch(ctx context.Context, us []sling.NodeID) ([][]float64, error) {
+	rows, err := b.inner.SingleSourceBatch(ctx, us)
 	for _, row := range rows {
 		for i, s := range row {
 			row[i] = clamp01(s)
@@ -186,39 +118,46 @@ func (b clampedBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error
 	}
 	return rows, err
 }
-func (b clampedBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
-	row, err := b.SingleSource(u)
+func (b clampedBackend) TopK(ctx context.Context, u sling.NodeID, k int) ([]sling.Scored, error) {
+	row, err := b.SingleSource(ctx, u, nil)
 	if err != nil {
 		return nil, err
 	}
 	return b.topk(row, k, u), nil
 }
-func (b clampedBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
-	row, err := b.SingleSource(u)
+func (b clampedBackend) SourceTop(ctx context.Context, u sling.NodeID, limit int) ([]sling.Scored, error) {
+	row, err := b.SingleSource(ctx, u, nil)
 	if err != nil {
 		return nil, err
 	}
 	return b.topk(row, limit, -1), nil
 }
-func (b clampedBackend) Clamped() bool { return true }
-func (b clampedBackend) Close() error  { return nil }
+func (b clampedBackend) Close() error { return nil }
 
 // HTTPError is a non-200 answer from an HTTP-mode backend. Edge-case
 // tests assert on Code; the matrix treats any occurrence as a failure.
+// When the server tagged the failure with a machine-readable code
+// (node_range), HTTPError wraps the matching sentinel so errors.Is sees
+// through the wire: a bad node yields sling.ErrNodeRange from the HTTP
+// backend exactly like from the library backends.
 type HTTPError struct {
 	Code int
 	Body string
+	Err  error // optional sentinel reconstructed from the response code field
 }
 
 func (e *HTTPError) Error() string {
 	return fmt.Sprintf("http %d: %s", e.Code, strings.TrimSpace(e.Body))
 }
 
+func (e *HTTPError) Unwrap() error { return e.Err }
+
 // httpBackend drives a server.Server through its real HTTP surface
-// (mux, handlers, JSON encoding) in-process. encoding/json emits the
-// shortest float64 representation that round-trips exactly, so scores
-// survive the JSON hop bit-for-bit and HTTP modes participate in the
-// bitwise cross-backend checks.
+// (mux, handlers, JSON encoding) in-process, as a sling.Querier — the
+// same adapter shape a replication client against a remote SLING server
+// would use. encoding/json emits the shortest float64 representation
+// that round-trips exactly, so scores survive the JSON hop bit-for-bit
+// and HTTP modes participate in the bitwise cross-backend checks.
 type httpBackend struct {
 	name    string
 	h       http.Handler
@@ -232,21 +171,55 @@ func NewHTTPBackend(name string, h http.Handler, n int, clamped bool) Backend {
 	return &httpBackend{name: name, h: h, n: n, clamped: clamped}
 }
 
-func (b *httpBackend) Name() string  { return b.name }
-func (b *httpBackend) Clamped() bool { return b.clamped }
-func (b *httpBackend) Close() error  { return nil }
+func (b *httpBackend) Name() string { return b.name }
+func (b *httpBackend) Close() error { return nil }
 
-func (b *httpBackend) do(method, target, body string, out interface{}) error {
+// Meta reports the wire backend: identity from construction, guarantee
+// parameters scraped from /stats (zero if the server hides them).
+func (b *httpBackend) Meta() sling.QuerierMeta {
+	m := sling.QuerierMeta{Name: b.name, Nodes: b.n, Clamped: b.clamped}
+	var stats struct {
+		C     float64 `json:"decay_factor"`
+		Eps   float64 `json:"error_bound"`
+		Epoch uint64  `json:"epoch"`
+	}
+	if err := b.do(context.Background(), http.MethodGet, "/stats", "", &stats); err == nil {
+		m.C, m.Eps, m.Epoch = stats.C, stats.Eps, stats.Epoch
+	}
+	return m
+}
+
+// do issues one in-process request. A pre-cancelled ctx returns before
+// any handler work, matching the Querier contract.
+func (b *httpBackend) do(ctx context.Context, method, target, body string, out interface{}) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var req *http.Request
 	if body == "" {
 		req = httptest.NewRequest(method, target, nil)
 	} else {
 		req = httptest.NewRequest(method, target, strings.NewReader(body))
 	}
+	req = req.WithContext(ctx)
 	rec := httptest.NewRecorder()
 	b.h.ServeHTTP(rec, req)
+	if err := ctx.Err(); err != nil {
+		// The server observed the cancellation and dropped the response.
+		return err
+	}
 	if rec.Code != http.StatusOK {
-		return &HTTPError{Code: rec.Code, Body: rec.Body.String()}
+		he := &HTTPError{Code: rec.Code, Body: rec.Body.String()}
+		var coded struct {
+			Code string `json:"code"`
+		}
+		if json.Unmarshal(rec.Body.Bytes(), &coded) == nil && coded.Code == "node_range" {
+			he.Err = sling.ErrNodeRange
+		}
+		return he
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
 		return fmt.Errorf("%s %s: decoding %q: %w", method, target, rec.Body.String(), err)
@@ -267,21 +240,24 @@ func toScored(in []scoredNode) []sling.Scored {
 	return out
 }
 
-func (b *httpBackend) SimRank(u, v sling.NodeID) (float64, error) {
+func (b *httpBackend) SimRank(ctx context.Context, u, v sling.NodeID) (float64, error) {
 	var resp struct {
 		Score float64 `json:"score"`
 	}
-	err := b.do(http.MethodGet, fmt.Sprintf("/simrank?u=%d&v=%d", u, v), "", &resp)
+	err := b.do(ctx, http.MethodGet, fmt.Sprintf("/simrank?u=%d&v=%d", u, v), "", &resp)
 	return resp.Score, err
 }
 
 // sourceVector turns a full /source response into a dense score vector,
 // verifying it covers exactly the node set.
-func (b *httpBackend) sourceVector(entries []scoredNode) ([]float64, error) {
+func (b *httpBackend) sourceVector(entries []scoredNode, out []float64) ([]float64, error) {
 	if len(entries) != b.n {
 		return nil, fmt.Errorf("source returned %d scores, want %d", len(entries), b.n)
 	}
-	out := make([]float64, b.n)
+	if cap(out) < b.n {
+		out = make([]float64, b.n)
+	}
+	out = out[:b.n]
 	seen := make([]bool, b.n)
 	for _, e := range entries {
 		if e.Node < 0 || e.Node >= int64(b.n) || seen[e.Node] {
@@ -293,17 +269,17 @@ func (b *httpBackend) sourceVector(entries []scoredNode) ([]float64, error) {
 	return out, nil
 }
 
-func (b *httpBackend) SingleSource(u sling.NodeID) ([]float64, error) {
+func (b *httpBackend) SingleSource(ctx context.Context, u sling.NodeID, out []float64) ([]float64, error) {
 	var resp struct {
 		Scores []scoredNode `json:"scores"`
 	}
-	if err := b.do(http.MethodGet, fmt.Sprintf("/source?u=%d", u), "", &resp); err != nil {
+	if err := b.do(ctx, http.MethodGet, fmt.Sprintf("/source?u=%d", u), "", &resp); err != nil {
 		return nil, err
 	}
-	return b.sourceVector(resp.Scores)
+	return b.sourceVector(resp.Scores, out)
 }
 
-func (b *httpBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) {
+func (b *httpBackend) SingleSourceBatch(ctx context.Context, us []sling.NodeID) ([][]float64, error) {
 	ops := make([]map[string]interface{}, len(us))
 	for i, u := range us {
 		ops[i] = map[string]interface{}{"op": "source", "u": u}
@@ -316,9 +292,10 @@ func (b *httpBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) 
 		Results []struct {
 			Scores []scoredNode `json:"scores"`
 			Error  string       `json:"error"`
+			Code   string       `json:"code"`
 		} `json:"results"`
 	}
-	if err := b.do(http.MethodPost, "/batch", string(body), &resp); err != nil {
+	if err := b.do(ctx, http.MethodPost, "/batch", string(body), &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Results) != len(us) {
@@ -327,28 +304,31 @@ func (b *httpBackend) SingleSourceBatch(us []sling.NodeID) ([][]float64, error) 
 	rows := make([][]float64, len(us))
 	for i, r := range resp.Results {
 		if r.Error != "" {
+			if r.Code == "node_range" {
+				return nil, fmt.Errorf("%w: batch op %d: %s", sling.ErrNodeRange, i, r.Error)
+			}
 			return nil, fmt.Errorf("batch op %d: %s", i, r.Error)
 		}
-		if rows[i], err = b.sourceVector(r.Scores); err != nil {
+		if rows[i], err = b.sourceVector(r.Scores, nil); err != nil {
 			return nil, fmt.Errorf("batch op %d: %w", i, err)
 		}
 	}
 	return rows, nil
 }
 
-func (b *httpBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
+func (b *httpBackend) TopK(ctx context.Context, u sling.NodeID, k int) ([]sling.Scored, error) {
 	var resp struct {
 		Results []scoredNode `json:"results"`
 	}
-	err := b.do(http.MethodGet, fmt.Sprintf("/topk?u=%d&k=%d", u, k), "", &resp)
+	err := b.do(ctx, http.MethodGet, fmt.Sprintf("/topk?u=%d&k=%d", u, k), "", &resp)
 	return toScored(resp.Results), err
 }
 
-func (b *httpBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
+func (b *httpBackend) SourceTop(ctx context.Context, u sling.NodeID, limit int) ([]sling.Scored, error) {
 	var resp struct {
 		Scores []scoredNode `json:"scores"`
 	}
-	err := b.do(http.MethodGet, fmt.Sprintf("/source?u=%d&limit=%d", u, limit), "", &resp)
+	err := b.do(ctx, http.MethodGet, fmt.Sprintf("/source?u=%d&limit=%d", u, limit), "", &resp)
 	return toScored(resp.Scores), err
 }
 
@@ -377,11 +357,11 @@ func NewStaticSet(g *sling.Graph, opt *sling.Options, dir string, withHTTP bool)
 		}
 	}()
 
-	ix, ms, err := timed(func() (*sling.Index, error) { return sling.Build(g, opt) })
+	ix, ms, err := timed(func() (*sling.Index, error) { return sling.Build(g, sling.WithOptions(*opt)) })
 	if err != nil {
 		return nil, fmt.Errorf("conformance: memory build: %w", err)
 	}
-	set.Ref = memBackend{ix: ix}
+	set.Ref = NamedBackend(ix, "memory")
 	set.BuildMS["memory"] = ms
 
 	path := filepath.Join(dir, "conformance.slix")
@@ -395,16 +375,16 @@ func NewStaticSet(g *sling.Graph, opt *sling.Options, dir string, withHTTP bool)
 		return nil, fmt.Errorf("conformance: opening disk index: %w", err)
 	}
 	set.closers = append(set.closers, di.Close)
-	set.Others = append(set.Others, diskBackend{di: di})
+	set.Others = append(set.Others, NamedBackend(di, "disk"))
 	set.BuildMS["disk"] = ms
 
 	ooc, ms, err := timed(func() (*sling.Index, error) {
-		return sling.BuildOutOfCore(g, opt, dir, 1<<20)
+		return sling.BuildOutOfCore(g, dir, 1<<20, sling.WithOptions(*opt))
 	})
 	if err != nil {
 		return nil, fmt.Errorf("conformance: out-of-core build: %w", err)
 	}
-	set.Others = append(set.Others, oocBackend{memBackend{ix: ooc}})
+	set.Others = append(set.Others, NamedBackend(ooc, "ooc"))
 	set.BuildMS["ooc"] = ms
 
 	if withHTTP {

@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -277,12 +278,13 @@ func evaluate(o Options, fam workload.Family, cfg Config, g *sling.Graph,
 		}
 	}
 
+	ctx := context.Background()
 	qstart := time.Now()
 
 	// Single-pair over every ordered pair.
 	for u := 0; u < n; u++ {
 		for v := 0; v < n; v++ {
-			s, err := be.SimRank(sling.NodeID(u), sling.NodeID(v))
+			s, err := be.SimRank(ctx, sling.NodeID(u), sling.NodeID(v))
 			if err != nil {
 				fail("simrank(%d,%d): %v", u, v, err)
 				cell.Pass = false
@@ -294,7 +296,7 @@ func evaluate(o Options, fam workload.Family, cfg Config, g *sling.Graph,
 	}
 	// Single-source from every node.
 	for u := 0; u < n; u++ {
-		row, err := be.SingleSource(sling.NodeID(u))
+		row, err := be.SingleSource(ctx, sling.NodeID(u), nil)
 		if err != nil || len(row) != n {
 			fail("source(%d): len %d, err %v", u, len(row), err)
 			cell.Pass = false
@@ -308,7 +310,7 @@ func evaluate(o Options, fam workload.Family, cfg Config, g *sling.Graph,
 	for i := range us {
 		us[i] = sling.NodeID(i)
 	}
-	batch, err := be.SingleSourceBatch(us)
+	batch, err := be.SingleSourceBatch(ctx, us)
 	if err != nil || len(batch) != n {
 		fail("batch: %d rows, err %v", len(batch), err)
 		cell.Pass = false
@@ -317,13 +319,13 @@ func evaluate(o Options, fam workload.Family, cfg Config, g *sling.Graph,
 	cell.Queries += n
 	// Top-k and source-top from every node.
 	for u := 0; u < n; u++ {
-		tk, err := be.TopK(sling.NodeID(u), o.K)
+		tk, err := be.TopK(ctx, sling.NodeID(u), o.K)
 		if err != nil {
 			fail("topk(%d): %v", u, err)
 			cell.Pass = false
 			return res
 		}
-		st, err := be.SourceTop(sling.NodeID(u), o.K+1)
+		st, err := be.SourceTop(ctx, sling.NodeID(u), o.K+1)
 		if err != nil {
 			fail("sourcetop(%d): %v", u, err)
 			cell.Pass = false
@@ -349,7 +351,7 @@ func evaluate(o Options, fam workload.Family, cfg Config, g *sling.Graph,
 		fail("pair symmetry gap %.3g exceeds %.1g", gap, symTol)
 	}
 	hi := 1 + cfg.Eps + rangeTol
-	if be.Clamped() {
+	if be.Meta().Clamped {
 		hi = 1
 	}
 	if lo, top := eval.RangeViolation(res.pair, 0, hi), eval.RangeViolation(res.rows, 0, hi); lo > 0 || top > 0 {
@@ -450,7 +452,7 @@ func dynamicCells(o Options, fam workload.Family, cfg Config, g *sling.Graph,
 	opt *sling.Options) ([]Cell, error) {
 
 	dx, buildMS, err := timed(func() (*sling.DynamicIndex, error) {
-		return sling.NewDynamic(g, opt, nil)
+		return sling.NewDynamic(g, nil, sling.WithOptions(*opt))
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dynamic build: %w", err)
@@ -501,13 +503,13 @@ func dynamicCells(o Options, fam workload.Family, cfg Config, g *sling.Graph,
 		return nil, fmt.Errorf("rebuild: %w", err)
 	}
 	rebuildMS := float64(time.Since(rebuildStart).Nanoseconds()) / 1e6
-	fresh, err := sling.Build(mutated, opt)
+	fresh, err := sling.Build(mutated, sling.WithOptions(*opt))
 	if err != nil {
 		return nil, fmt.Errorf("fresh build of mutated graph: %w", err)
 	}
-	refRes := evaluate(o, fam, cfg, mutated, truth, newClampedBackend(memBackend{ix: fresh}), nil)
+	refRes := evaluate(o, fam, cfg, mutated, truth, newClampedBackend(NamedBackend(fresh, "memory")), nil)
 	dynRes := evaluate(o, fam, cfg, mutated, truth,
-		dynBackend{name: "dynamic-rebuilt", dx: dx}, refRes)
+		NamedBackend(dx, "dynamic-rebuilt"), refRes)
 	dynRes.cell.BuildMS = rebuildMS
 	cells = append(cells, dynRes.cell)
 
@@ -551,13 +553,18 @@ func evaluateStale(o Options, fam workload.Family, cfg Config,
 	fmt.Fprintf(h, "stale|%s|%s|%d", fam.Name, cfg, o.Seed)
 	r := rng.New(h.Sum64())
 
+	ctx := context.Background()
 	qstart := time.Now()
 	sources := aff
 	if len(sources) > 4 {
 		sources = sources[:4]
 	}
 	for _, u := range sources {
-		row := dx.SingleSource(u, nil)
+		row, err := dx.SingleSource(ctx, u, nil)
+		if err != nil {
+			fail("source(%d): %v", u, err)
+			return cell
+		}
 		worst, err := eval.RowMaxError(truth, u, row)
 		if err != nil {
 			fail("source(%d): %v", u, err)
@@ -571,7 +578,12 @@ func evaluateStale(o Options, fam workload.Family, cfg Config,
 			fail("stale source %d leaves [0,1] by %.3g", u, v)
 		}
 		// Top-k consistency against the backend's own row.
-		if !sameScored(dx.TopK(u, o.K), core.SelectTop(row, o.K, u)) {
+		tk, err := dx.TopK(ctx, u, o.K)
+		if err != nil {
+			fail("stale topk(%d): %v", u, err)
+			return cell
+		}
+		if !sameScored(tk, core.SelectTop(row, o.K, u)) {
 			fail("stale topk(%d) inconsistent with own row", u)
 		}
 		cell.Queries++
@@ -580,12 +592,21 @@ func evaluateStale(o Options, fam workload.Family, cfg Config,
 	for q := 0; q < 40; q++ {
 		u := aff[r.Intn(len(aff))]
 		v := sling.NodeID(r.Intn(n))
-		s := dx.SimRank(u, v)
+		s, err := dx.SimRank(ctx, u, v)
+		if err != nil {
+			fail("stale simrank(%d,%d): %v", u, v, err)
+			return cell
+		}
 		cell.Queries++
 		if e := eval.PairError(truth, u, v, s); e > cell.MaxErr {
 			cell.MaxErr = e
 		}
-		if d := math.Abs(s - dx.SimRank(v, u)); d > 2*cfg.Eps {
+		rev, err := dx.SimRank(ctx, v, u)
+		if err != nil {
+			fail("stale simrank(%d,%d): %v", v, u, err)
+			return cell
+		}
+		if d := math.Abs(s - rev); d > 2*cfg.Eps {
 			// Each direction is within ε of the same exact score, so the
 			// spread between the two coupled MC estimates is bounded by 2ε.
 			fail("stale pair (%d,%d) asymmetry %.4f exceeds 2*eps", u, v, d)

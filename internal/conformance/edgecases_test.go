@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -28,12 +29,12 @@ func edgeCaseSet(t *testing.T) (*sling.Graph, []Backend, func()) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dx, err := sling.NewDynamic(g, opt, nil)
+	dx, err := sling.NewDynamic(g, nil, sling.WithOptions(*opt))
 	if err != nil {
 		set.Close()
 		t.Fatal(err)
 	}
-	backends := append(set.All(), dynBackend{name: "dynamic", dx: dx})
+	backends := append(set.All(), NamedBackend(dx, "dynamic"))
 	return g, backends, func() {
 		dx.Close()
 		set.Close()
@@ -48,6 +49,7 @@ func TestTopKEdgeCasesAcrossBackends(t *testing.T) {
 	g, backends, cleanup := edgeCaseSet(t)
 	defer cleanup()
 	n := g.NumNodes()
+	ctx := context.Background()
 	const isolated = sling.NodeID(9)
 
 	for _, be := range backends {
@@ -56,7 +58,7 @@ func TestTopKEdgeCasesAcrossBackends(t *testing.T) {
 		t.Run(be.Name(), func(t *testing.T) {
 			// k <= 0 and negative limit.
 			for _, k := range []int{0, -3} {
-				top, err := be.TopK(2, k)
+				top, err := be.TopK(ctx, 2, k)
 				if isHTTP {
 					he, ok := err.(*HTTPError)
 					if !ok || he.Code != 400 {
@@ -66,7 +68,7 @@ func TestTopKEdgeCasesAcrossBackends(t *testing.T) {
 					t.Errorf("TopK(k=%d) = %v, err %v; want empty", k, top, err)
 				}
 			}
-			if top, err := be.SourceTop(2, -1); isHTTP {
+			if top, err := be.SourceTop(ctx, 2, -1); isHTTP {
 				if he, ok := err.(*HTTPError); !ok || he.Code != 400 {
 					t.Errorf("SourceTop(limit=-1): want HTTP 400, got %v, err %v", top, err)
 				}
@@ -74,17 +76,17 @@ func TestTopKEdgeCasesAcrossBackends(t *testing.T) {
 				t.Errorf("SourceTop(limit=-1) = %v, err %v; want empty", top, err)
 			}
 			// limit = 0 is valid everywhere: an empty selection.
-			if top, err := be.SourceTop(2, 0); err != nil || len(top) != 0 {
+			if top, err := be.SourceTop(ctx, 2, 0); err != nil || len(top) != 0 {
 				t.Errorf("SourceTop(limit=0) = %v, err %v; want empty", top, err)
 			}
 
 			// k > n must behave like k = n: every positive-score node,
 			// never an out-of-range panic or truncation.
-			row, err := be.SingleSource(2)
+			row, err := be.SingleSource(ctx, 2, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			big, err := be.TopK(2, 10*n)
+			big, err := be.TopK(ctx, 2, 10*n)
 			if err != nil {
 				t.Fatalf("TopK(k=%d): %v", 10*n, err)
 			}
@@ -105,7 +107,7 @@ func TestTopKEdgeCasesAcrossBackends(t *testing.T) {
 
 			// Isolated node: s(u,u) = 1 exactly, everything else 0, so
 			// top-k excludes all and source-top returns just the node.
-			iso, err := be.SingleSource(isolated)
+			iso, err := be.SingleSource(ctx, isolated, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -118,10 +120,10 @@ func TestTopKEdgeCasesAcrossBackends(t *testing.T) {
 					t.Errorf("isolated row[%d] = %v, want %v", v, s, want)
 				}
 			}
-			if top, err := be.TopK(isolated, 3); err != nil || len(top) != 0 {
+			if top, err := be.TopK(ctx, isolated, 3); err != nil || len(top) != 0 {
 				t.Errorf("TopK(isolated) = %v, err %v; want empty", top, err)
 			}
-			st, err := be.SourceTop(isolated, 3)
+			st, err := be.SourceTop(ctx, isolated, 3)
 			if err != nil || len(st) != 1 || st[0].Node != isolated || st[0].Score != 1 {
 				t.Errorf("SourceTop(isolated) = %v, err %v; want [{%d 1}]", st, err, isolated)
 			}

@@ -346,7 +346,10 @@ func BenchmarkSinglePairQuery(b *testing.B) {
 func TestAllPairsMatchesSingleSource(t *testing.T) {
 	g := randomGraph(30, 160, 121)
 	x := buildIndex(t, g, &Options{Eps: 0.06, Seed: 123})
-	all := x.AllPairs()
+	all, err := x.AllPairs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ss := x.NewSourceScratch()
 	for u := 0; u < 30; u++ {
 		row := x.SingleSource(graph.NodeID(u), ss, nil)

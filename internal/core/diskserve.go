@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -49,8 +50,9 @@ func (d *DiskIndex) SourceTop(u graph.NodeID, limit int, s *DiskScratch, ss *Sou
 // fanned across workers goroutines (GOMAXPROCS-style caller default:
 // workers <= 0 means 1) with per-worker scratch, mirroring the in-memory
 // Index.SingleSourceBatch. Row i equals SingleSource(us[i], ...) exactly
-// at any worker count. The first I/O error aborts the batch.
-func (d *DiskIndex) SingleSourceBatch(us []graph.NodeID, workers int) ([][]float64, error) {
+// at any worker count. The first I/O error aborts the batch, and a
+// cancelled ctx (nil means never) stops the fan-out between sources.
+func (d *DiskIndex) SingleSourceBatch(ctx context.Context, us []graph.NodeID, workers int) ([][]float64, error) {
 	n := d.meta.g.NumNodes()
 	out := make([][]float64, len(us))
 	if workers <= 0 {
@@ -63,6 +65,9 @@ func (d *DiskIndex) SingleSourceBatch(us []graph.NodeID, workers int) ([][]float
 		s := d.NewScratch()
 		ss := d.meta.NewSourceScratch()
 		for i, u := range us {
+			if err := CtxErr(ctx); err != nil {
+				return nil, err
+			}
 			row, err := d.SingleSource(u, s, ss, make([]float64, n))
 			if err != nil {
 				return nil, err
@@ -81,6 +86,10 @@ func (d *DiskIndex) SingleSourceBatch(us []graph.NodeID, workers int) ([][]float
 			s := d.NewScratch()
 			ss := d.meta.NewSourceScratch()
 			for {
+				if err := CtxErr(ctx); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(us) || firstErr.Load() != nil {
 					return

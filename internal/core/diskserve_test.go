@@ -171,7 +171,7 @@ func TestDiskServeMatchesMemory(t *testing.T) {
 		}
 		us := []graph.NodeID{3, 1, 4, 1, 5, 9, 2, 6}
 		for _, workers := range []int{1, 4} {
-			rows, err := d.SingleSourceBatch(us, workers)
+			rows, err := d.SingleSourceBatch(nil, us, workers)
 			if err != nil {
 				t.Fatal(err)
 			}

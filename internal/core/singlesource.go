@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -125,12 +126,27 @@ func (x *Index) SingleSourceNaive(u graph.NodeID, s *Scratch, out []float64) []f
 	return out
 }
 
+// CtxErr reports a cancelled or expired context, tolerating nil
+// (treated as context.Background(): never cancelled). It is the one
+// shared helper behind every cancellation check in the query stack —
+// core, dynamic, and the public facade.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // forEachSource runs fn(i, scratch) for every i in [0, count), fanned
 // across workers goroutines (Options.Workers when workers <= 0), each
 // with its own SourceScratch. Sources are handed out from a shared atomic
 // counter so stragglers don't idle a worker. Each call of fn is
 // independent, so the results are identical at any worker count.
-func (x *Index) forEachSource(count, workers int, fn func(i int, s *SourceScratch)) {
+//
+// ctx is observed between per-source units: once it is cancelled no new
+// source starts (in-flight sources finish) and ctx.Err() is returned, so
+// an abandoned batch stops burning CPU at source granularity.
+func (x *Index) forEachSource(ctx context.Context, count, workers int, fn func(i int, s *SourceScratch)) error {
 	if workers <= 0 {
 		workers = x.prm.workers
 	}
@@ -140,9 +156,12 @@ func (x *Index) forEachSource(count, workers int, fn func(i int, s *SourceScratc
 	if workers <= 1 {
 		s := x.NewSourceScratch()
 		for i := 0; i < count; i++ {
+			if err := CtxErr(ctx); err != nil {
+				return err
+			}
 			fn(i, s)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -152,6 +171,9 @@ func (x *Index) forEachSource(count, workers int, fn func(i int, s *SourceScratc
 			defer wg.Done()
 			s := x.NewSourceScratch()
 			for {
+				if CtxErr(ctx) != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= count {
 					return
@@ -161,31 +183,39 @@ func (x *Index) forEachSource(count, workers int, fn func(i int, s *SourceScratc
 		}()
 	}
 	wg.Wait()
+	return CtxErr(ctx)
 }
 
 // SingleSourceBatch answers one single-source query per source in us,
 // fanning the sources across workers goroutines (Options.Workers when
 // workers <= 0) with per-worker scratch. Row i equals
 // SingleSource(us[i], ...) exactly — per-source computation is untouched,
-// so batch results are byte-identical to serial execution.
-func (x *Index) SingleSourceBatch(us []graph.NodeID, workers int) [][]float64 {
+// so batch results are byte-identical to serial execution. A cancelled
+// ctx (nil means never) stops the fan-out between sources and returns
+// ctx.Err().
+func (x *Index) SingleSourceBatch(ctx context.Context, us []graph.NodeID, workers int) ([][]float64, error) {
 	n := x.g.NumNodes()
 	out := make([][]float64, len(us))
-	x.forEachSource(len(us), workers, func(i int, s *SourceScratch) {
+	if err := x.forEachSource(ctx, len(us), workers, func(i int, s *SourceScratch) {
 		out[i] = x.SingleSource(us[i], s, make([]float64, n))
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // AllPairs materializes the full score matrix by running Algorithm 6 from
 // every node — the procedure behind the paper's accuracy experiments
 // (Figures 5-7) — parallel across Options.Workers. It needs O(n²) output
-// memory; callers own sizing checks.
-func (x *Index) AllPairs() *power.Scores {
+// memory; callers own sizing checks. Cancellation is observed between
+// sources.
+func (x *Index) AllPairs(ctx context.Context) (*power.Scores, error) {
 	n := x.g.NumNodes()
 	s := &power.Scores{N: n, Data: make([]float64, n*n)}
-	x.forEachSource(n, 0, func(u int, ss *SourceScratch) {
+	if err := x.forEachSource(ctx, n, 0, func(u int, ss *SourceScratch) {
 		x.SingleSource(graph.NodeID(u), ss, s.Data[u*n:(u+1)*n])
-	})
-	return s
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
 }

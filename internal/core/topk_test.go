@@ -120,7 +120,10 @@ func TestSingleSourceBatchMatchesSerial(t *testing.T) {
 		serial[i] = x.SingleSource(u, ss, nil)
 	}
 	for _, workers := range []int{1, 2, 3, 8, 64} {
-		batch := x.SingleSourceBatch(us, workers)
+		batch, err := x.SingleSourceBatch(nil, us, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(batch) != len(us) {
 			t.Fatalf("workers=%d: %d rows", workers, len(batch))
 		}
@@ -141,7 +144,11 @@ func TestAllPairsParallelMatchesSerial(t *testing.T) {
 	// and AllPairs inherits the worker count for its row fan-out.
 	serialIx := buildIndex(t, g, &Options{Eps: 0.08, Seed: 13, Workers: 1})
 	parallelIx := buildIndex(t, g, &Options{Eps: 0.08, Seed: 13, Workers: 4})
-	a, b := serialIx.AllPairs(), parallelIx.AllPairs()
+	a, errA := serialIx.AllPairs(nil)
+	b, errB := parallelIx.AllPairs(nil)
+	if errA != nil || errB != nil {
+		t.Fatalf("AllPairs: %v / %v", errA, errB)
+	}
 	if a.N != b.N {
 		t.Fatalf("N %d != %d", a.N, b.N)
 	}

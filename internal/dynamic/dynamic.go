@@ -28,6 +28,7 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -553,8 +554,9 @@ func (d *Dynamic) SourceTop(u graph.NodeID, limit int) []core.TopEntry {
 // fanned across workers goroutines (Options.Workers when workers <= 0).
 // Against a fixed state every row equals SingleSource(us[i], nil); under
 // concurrent updates each row is individually consistent with some
-// published view.
-func (d *Dynamic) SingleSourceBatch(us []graph.NodeID, workers int) [][]float64 {
+// published view. A cancelled ctx (nil means never) stops the fan-out
+// between sources and returns ctx.Err().
+func (d *Dynamic) SingleSourceBatch(ctx context.Context, us []graph.NodeID, workers int) ([][]float64, error) {
 	rows := make([][]float64, len(us))
 	if workers <= 0 {
 		workers = d.workers
@@ -564,9 +566,12 @@ func (d *Dynamic) SingleSourceBatch(us []graph.NodeID, workers int) [][]float64 
 	}
 	if workers <= 1 {
 		for i, u := range us {
+			if err := core.CtxErr(ctx); err != nil {
+				return nil, err
+			}
 			rows[i] = d.SingleSource(u, nil)
 		}
-		return rows
+		return rows, nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -575,6 +580,9 @@ func (d *Dynamic) SingleSourceBatch(us []graph.NodeID, workers int) [][]float64 
 		go func() {
 			defer wg.Done()
 			for {
+				if core.CtxErr(ctx) != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(us) {
 					return
@@ -584,7 +592,10 @@ func (d *Dynamic) SingleSourceBatch(us []graph.NodeID, workers int) [][]float64 
 		}()
 	}
 	wg.Wait()
-	return rows
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // AffectedNodes returns the current affected frontier as ascending node

@@ -164,7 +164,10 @@ func TestRebuildEquivalence(t *testing.T) {
 				}
 			}
 		}
-		rows := d.SingleSourceBatch(sources, 3)
+		rows, err := d.SingleSourceBatch(nil, sources, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i, u := range sources {
 			want := pool.SingleSource(u, nil)
 			for v := range want {

@@ -4,144 +4,97 @@ import (
 	"sling"
 )
 
-// backend abstracts the index the server queries, so the same endpoint
-// surface serves either the fully in-memory index or the Section 5.4
-// disk-resident one. In-memory queries cannot fail, so the memory
-// adapter always returns nil errors; the disk adapter surfaces I/O
-// errors, which handlers map to 500s.
-type backend interface {
-	SimRank(u, v sling.NodeID) (float64, error)
-	SingleSource(u sling.NodeID) ([]float64, error)
-	SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error)
-	TopK(u sling.NodeID, k int) ([]sling.Scored, error)
-	NumNodes() int
-	Stats() map[string]interface{}
-}
+// Per-mode /stats providers. Query routing needs no per-backend code at
+// all anymore — every handler talks sling.Querier — so what used to be a
+// three-way backend adapter here is now only the observability surface:
+// each constructor supplies the stats closure matching its concrete
+// index, and unknown backends fall back to the QuerierMeta-derived
+// document. The Server injects the shared canceled_ops counter on top.
 
-// memBackend serves from a fully in-memory index.
-type memBackend struct {
-	ix *sling.Index
-}
-
-func (b memBackend) SimRank(u, v sling.NodeID) (float64, error) { return b.ix.SimRank(u, v), nil }
-
-func (b memBackend) SingleSource(u sling.NodeID) ([]float64, error) {
-	return b.ix.SingleSource(u, nil), nil
-}
-
-func (b memBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
-	return b.ix.SourceTop(u, limit), nil
-}
-
-func (b memBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
-	return b.ix.TopK(u, k), nil
-}
-
-func (b memBackend) NumNodes() int { return b.ix.Graph().NumNodes() }
-
-func (b memBackend) Stats() map[string]interface{} {
-	st := b.ix.Stats()
-	g := b.ix.Graph()
-	return map[string]interface{}{
-		"mode":         "memory",
-		"nodes":        g.NumNodes(),
-		"edges":        g.NumEdges(),
-		"entries":      st.Entries,
-		"avg_entries":  st.AvgEntries,
-		"max_entries":  st.MaxEntries,
-		"index_bytes":  st.Bytes,
-		"graph_bytes":  g.Bytes(),
-		"error_bound":  b.ix.ErrorBound(),
-		"decay_factor": b.ix.C(),
+// memStats reports the fully in-memory index.
+func memStats(ix *sling.Index) func() map[string]interface{} {
+	return func() map[string]interface{} {
+		st := ix.Stats()
+		g := ix.Graph()
+		return map[string]interface{}{
+			"mode":         "memory",
+			"nodes":        g.NumNodes(),
+			"edges":        g.NumEdges(),
+			"entries":      st.Entries,
+			"avg_entries":  st.AvgEntries,
+			"max_entries":  st.MaxEntries,
+			"index_bytes":  st.Bytes,
+			"graph_bytes":  g.Bytes(),
+			"error_bound":  ix.ErrorBound(),
+			"decay_factor": ix.C(),
+		}
 	}
 }
 
-// dynBackend serves from an updatable index: queries go through the
-// dynamic layer's epoch-swapped routing (static index for unaffected
-// nodes, fresh estimation otherwise). Like the in-memory backend its
-// queries cannot fail.
-type dynBackend struct {
-	dx *sling.DynamicIndex
-}
-
-func (b dynBackend) SimRank(u, v sling.NodeID) (float64, error) { return b.dx.SimRank(u, v), nil }
-
-func (b dynBackend) SingleSource(u sling.NodeID) ([]float64, error) {
-	return b.dx.SingleSource(u, nil), nil
-}
-
-func (b dynBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
-	return b.dx.SourceTop(u, limit), nil
-}
-
-func (b dynBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
-	return b.dx.TopK(u, k), nil
-}
-
-func (b dynBackend) NumNodes() int { return b.dx.NumNodes() }
-
-func (b dynBackend) Stats() map[string]interface{} {
-	st := b.dx.Stats()
-	return map[string]interface{}{
-		"mode":              "dynamic",
-		"nodes":             st.Nodes,
-		"edges":             st.Edges,
-		"epoch":             st.Epoch,
-		"affected_nodes":    st.AffectedNodes,
-		"stale_ops":         st.StaleOps,
-		"total_ops":         st.TotalOps,
-		"rebuilds":          st.Rebuilds,
-		"rebuild_running":   st.RebuildRunning,
-		"rebuild_threshold": st.RebuildThreshold,
-		"epochs_drained":    st.EpochsDrained,
-		"mc_walks":          st.NumWalks,
-		"mc_depth":          st.Depth,
-		"index_bytes":       st.IndexBytes,
-		"error_bound":       st.ErrorBound,
-		"decay_factor":      b.dx.C(),
+// dynStats reports the updatable index: epoch, staleness frontier, and
+// rebuild state on top of the shared fields.
+func dynStats(dx *sling.DynamicIndex) func() map[string]interface{} {
+	return func() map[string]interface{} {
+		st := dx.Stats()
+		return map[string]interface{}{
+			"mode":              "dynamic",
+			"nodes":             st.Nodes,
+			"edges":             st.Edges,
+			"epoch":             st.Epoch,
+			"affected_nodes":    st.AffectedNodes,
+			"stale_ops":         st.StaleOps,
+			"total_ops":         st.TotalOps,
+			"rebuilds":          st.Rebuilds,
+			"rebuild_running":   st.RebuildRunning,
+			"rebuild_threshold": st.RebuildThreshold,
+			"epochs_drained":    st.EpochsDrained,
+			"mc_walks":          st.NumWalks,
+			"mc_depth":          st.Depth,
+			"index_bytes":       st.IndexBytes,
+			"error_bound":       st.ErrorBound,
+			"decay_factor":      dx.C(),
+		}
 	}
 }
 
-// diskBackend serves from a disk-resident index (pooled scratch, shared
-// entry cache); only O(n) metadata is memory-resident.
-type diskBackend struct {
-	di *sling.DiskIndex
+// diskStats reports the disk-resident index (resident metadata plus
+// entry-cache counters).
+func diskStats(di *sling.DiskIndex) func() map[string]interface{} {
+	return func() map[string]interface{} {
+		g := di.Graph()
+		cs := di.CacheStats()
+		return map[string]interface{}{
+			"mode":           "disk",
+			"nodes":          g.NumNodes(),
+			"edges":          g.NumEdges(),
+			"entries":        di.NumEntries(),
+			"resident_bytes": di.Bytes(),
+			"graph_bytes":    g.Bytes(),
+			"error_bound":    di.ErrorBound(),
+			"decay_factor":   di.C(),
+			"cache": map[string]interface{}{
+				"hits":      cs.Hits,
+				"misses":    cs.Misses,
+				"entries":   cs.Entries,
+				"bytes":     cs.Bytes,
+				"max_bytes": cs.MaxBytes,
+			},
+		}
+	}
 }
 
-func (b diskBackend) SimRank(u, v sling.NodeID) (float64, error) { return b.di.SimRank(u, v) }
-
-func (b diskBackend) SingleSource(u sling.NodeID) ([]float64, error) {
-	return b.di.SingleSource(u, nil)
-}
-
-func (b diskBackend) SourceTop(u sling.NodeID, limit int) ([]sling.Scored, error) {
-	return b.di.SourceTop(u, limit)
-}
-
-func (b diskBackend) TopK(u sling.NodeID, k int) ([]sling.Scored, error) {
-	return b.di.TopK(u, k)
-}
-
-func (b diskBackend) NumNodes() int { return b.di.Graph().NumNodes() }
-
-func (b diskBackend) Stats() map[string]interface{} {
-	g := b.di.Graph()
-	cs := b.di.CacheStats()
-	return map[string]interface{}{
-		"mode":           "disk",
-		"nodes":          g.NumNodes(),
-		"edges":          g.NumEdges(),
-		"entries":        b.di.NumEntries(),
-		"resident_bytes": b.di.Bytes(),
-		"graph_bytes":    g.Bytes(),
-		"error_bound":    b.di.ErrorBound(),
-		"decay_factor":   b.di.C(),
-		"cache": map[string]interface{}{
-			"hits":      cs.Hits,
-			"misses":    cs.Misses,
-			"entries":   cs.Entries,
-			"bytes":     cs.Bytes,
-			"max_bytes": cs.MaxBytes,
-		},
+// querierStats is the mode-agnostic fallback for NewQuerier backends:
+// everything QuerierMeta can say about the backend.
+func querierStats(q sling.Querier) func() map[string]interface{} {
+	return func() map[string]interface{} {
+		m := q.Meta()
+		return map[string]interface{}{
+			"mode":         m.Name,
+			"nodes":        m.Nodes,
+			"error_bound":  m.Eps,
+			"decay_factor": m.C,
+			"clamped":      m.Clamped,
+			"epoch":        m.Epoch,
+		}
 	}
 }

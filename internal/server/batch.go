@@ -1,9 +1,11 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -76,6 +78,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx := r.Context()
 	results := make([]interface{}, len(ops))
 	workers := s.cfg.BatchWorkers
 	if workers > len(ops) {
@@ -83,7 +86,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if workers <= 1 {
 		for i, op := range ops {
-			results[i] = s.runOp(op)
+			if ctx.Err() != nil {
+				break
+			}
+			results[i] = s.runOp(ctx, op)
 		}
 	} else {
 		var next atomic.Int64
@@ -93,24 +99,55 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			go func() {
 				defer wg.Done()
 				for {
+					if ctx.Err() != nil {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= len(ops) {
 						return
 					}
-					results[i] = s.runOp(ops[i])
+					results[i] = s.runOp(ctx, ops[i])
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	if err := ctx.Err(); err != nil {
+		// Account the operations that never ran, then pick the response:
+		// a cancelled context means the client is gone — log and drop
+		// (nginx's 499 convention); an expired deadline may come from
+		// server-side timeout middleware with the client still listening,
+		// so it gets a real 504 instead of a bogus empty 200.
+		dropped := 0
+		for _, res := range results {
+			if res == nil {
+				dropped++
+			}
+		}
+		s.canceledOps.Add(uint64(dropped))
+		if errors.Is(err, context.DeadlineExceeded) {
+			httpError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("batch deadline exceeded with %d of %d ops pending", dropped, len(ops)))
+			return
+		}
+		log.Printf("server: POST /batch abandoned with %d of %d ops pending (%v)",
+			dropped, len(ops), err)
+		return
+	}
 	writeJSON(w, map[string]interface{}{"results": results})
 }
 
 // runOp executes one batch operation, returning either the op's response
-// object or an error object mirroring the single-query endpoints.
-func (s *Server) runOp(op BatchOp) interface{} {
+// object or an error object mirroring the single-query endpoints. ctx is
+// threaded into the Querier so a disconnected client stops the fan-out
+// inside multi-source work too.
+func (s *Server) runOp(ctx context.Context, op BatchOp) interface{} {
 	fail := func(err error) interface{} {
-		return map[string]interface{}{"op": op.Op, "error": err.Error()}
+		entry := map[string]interface{}{"op": op.Op, "error": err.Error()}
+		if errors.Is(err, sling.ErrNodeRange) {
+			entry["code"] = "node_range"
+		}
+		return entry
 	}
 	u, err := s.opNode(op.U, "u")
 	if err != nil {
@@ -122,7 +159,7 @@ func (s *Server) runOp(op BatchOp) interface{} {
 		if err != nil {
 			return fail(err)
 		}
-		score, err := s.be.SimRank(u, v)
+		score, err := s.q.SimRank(ctx, u, v)
 		if err != nil {
 			return fail(err)
 		}
@@ -138,7 +175,7 @@ func (s *Server) runOp(op BatchOp) interface{} {
 			}
 			limit = *op.Limit
 		}
-		scores, err := s.sourceScores(u, limit)
+		scores, err := s.sourceScores(ctx, u, limit)
 		if err != nil {
 			return fail(err)
 		}
@@ -155,7 +192,7 @@ func (s *Server) runOp(op BatchOp) interface{} {
 			}
 			k = *op.K
 		}
-		top, err := s.be.TopK(u, k)
+		top, err := s.q.TopK(ctx, u, k)
 		if err != nil {
 			return fail(err)
 		}
@@ -168,21 +205,11 @@ func (s *Server) runOp(op BatchOp) interface{} {
 	}
 }
 
-// opNode resolves a batch node parameter like Server.node does for query
-// strings.
+// opNode resolves a batch node parameter through the same label/range
+// resolution Server.node applies to query strings.
 func (s *Server) opNode(raw *int64, name string) (sling.NodeID, error) {
 	if raw == nil {
 		return 0, fmt.Errorf("missing node %q", name)
 	}
-	if s.byLbl != nil {
-		id, ok := s.byLbl[*raw]
-		if !ok {
-			return 0, fmt.Errorf("node %d not in graph", *raw)
-		}
-		return id, nil
-	}
-	if *raw < 0 || *raw >= int64(s.be.NumNodes()) {
-		return 0, fmt.Errorf("node %d out of range [0,%d)", *raw, s.be.NumNodes())
-	}
-	return sling.NodeID(*raw), nil
+	return s.denseID(*raw)
 }

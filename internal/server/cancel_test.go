@@ -1,0 +1,101 @@
+package server
+
+// Tests for the 499-style abort path: a client that abandons a request
+// mid-flight gets no response body (there is nowhere to send it), the
+// server stops doing work, and the drop is surfaced in /stats as
+// canceled_ops.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBatchAbandonedRequestDropped(t *testing.T) {
+	s, _ := testServer(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is gone before the batch starts
+
+	body := `[{"op":"simrank","u":1,"v":2},{"op":"source","u":3},{"op":"topk","u":4,"k":3}]`
+	req := httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+
+	// 499-style: the response is dropped, not an error payload.
+	if rec.Body.Len() != 0 {
+		t.Fatalf("abandoned batch produced a response body: %q", rec.Body.String())
+	}
+
+	// Every op that never ran is accounted.
+	_, stats := get(t, s, "/stats")
+	if got := stats["canceled_ops"].(float64); got != 3 {
+		t.Fatalf("canceled_ops = %v, want 3", got)
+	}
+}
+
+func TestSingleQueryAbandonedRequestDropped(t *testing.T) {
+	s, _ := testServer(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, path := range []string{"/simrank?u=1&v=2", "/source?u=3", "/topk?u=4&k=3"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Body.Len() != 0 {
+			t.Fatalf("%s: abandoned query produced a response body: %q", path, rec.Body.String())
+		}
+	}
+	_, stats := get(t, s, "/stats")
+	if got := stats["canceled_ops"].(float64); got != 3 {
+		t.Fatalf("canceled_ops = %v, want 3", got)
+	}
+}
+
+// A deadline expiry is not a vanished client: server-side timeout
+// middleware can expire the context while the client still listens, so
+// the response must be a real 504, never a dropped empty 200.
+func TestDeadlineExceededAnswers504(t *testing.T) {
+	s, _ := testServer(t, nil)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	req := httptest.NewRequest(http.MethodGet, "/simrank?u=1&v=2", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("GET with expired deadline: status %d, want 504", rec.Code)
+	}
+
+	body := `[{"op":"simrank","u":1,"v":2},{"op":"topk","u":3,"k":2}]`
+	req = httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(body)).WithContext(ctx)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("batch with expired deadline: status %d, want 504", rec.Code)
+	}
+
+	_, stats := get(t, s, "/stats")
+	if got := stats["canceled_ops"].(float64); got != 3 {
+		t.Fatalf("canceled_ops = %v, want 3 (1 query + 2 batch ops)", got)
+	}
+}
+
+// A live request must not be affected: canceled_ops stays zero and
+// responses flow normally.
+func TestCanceledOpsZeroOnHealthyTraffic(t *testing.T) {
+	s, _ := testServer(t, nil)
+	if rec, _ := get(t, s, "/simrank?u=1&v=2"); rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if rec, _ := postBatch(t, s, `[{"op":"simrank","u":1,"v":2}]`); rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d", rec.Code)
+	}
+	_, stats := get(t, s, "/stats")
+	if got := stats["canceled_ops"].(float64); got != 0 {
+		t.Fatalf("canceled_ops = %v, want 0", got)
+	}
+}

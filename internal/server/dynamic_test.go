@@ -23,12 +23,12 @@ func dynServer(t *testing.T, labels []int64) (*Server, *sling.DynamicIndex) {
 		b.AddEdge(sling.NodeID(r.Intn(n)), sling.NodeID(r.Intn(n)))
 	}
 	dx, err := sling.NewDynamic(b.Build(),
-		&sling.Options{Eps: 0.08, Seed: 7},
-		&sling.DynamicOptions{NumWalks: 64})
+		&sling.DynamicOptions{NumWalks: 64},
+		sling.WithEps(0.08), sling.WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(dx.Close)
+	t.Cleanup(func() { dx.Close() })
 	s, err := NewDynamic(dx, labels, Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -154,12 +154,12 @@ func mustDyn(t *testing.T) *sling.DynamicIndex {
 	for v := 0; v < 7; v++ {
 		b.AddEdge(sling.NodeID(v), sling.NodeID(v+1))
 	}
-	dx, err := sling.NewDynamic(b.Build(), &sling.Options{Eps: 0.1, Seed: 3},
-		&sling.DynamicOptions{NumWalks: 16})
+	dx, err := sling.NewDynamic(b.Build(), &sling.DynamicOptions{NumWalks: 16},
+		sling.WithEps(0.1), sling.WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(dx.Close)
+	t.Cleanup(func() { dx.Close() })
 	return dx
 }
 

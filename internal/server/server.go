@@ -1,10 +1,17 @@
 // Package server exposes a SLING index over HTTP with a small JSON API,
 // the deployment shape a similarity service would actually run: build (or
 // load) the index once, then serve single-pair, single-source, top-k and
-// batched queries concurrently over pooled scratch. The index can be
-// fully in-memory (New), disk-resident (NewDisk, Section 5.4 of the
-// paper), or updatable (NewDynamic): the query surface is identical, only
-// the backend differs, and dynamic mode adds mutation endpoints.
+// batched queries concurrently over pooled scratch.
+//
+// Every handler is written against the one sling.Querier interface, so
+// the index can be fully in-memory (New), disk-resident (NewDisk,
+// Section 5.4 of the paper), updatable (NewDynamic), or any future
+// backend handed to NewQuerier: the query surface is identical, only the
+// backend differs, and dynamic mode adds mutation endpoints. Request
+// contexts are threaded into every query, so a client that disconnects
+// mid-/batch stops burning CPU between per-source units; such aborts are
+// logged, dropped without a response (nginx's 499 convention), and
+// counted in /stats as canceled_ops.
 //
 // Endpoints:
 //
@@ -28,15 +35,20 @@
 // prefix of the vector. Score lists are always JSON arrays, never null.
 //
 // Node parameters use the graph's original labels when the server is
-// constructed with a label mapping, dense IDs otherwise.
+// constructed with a label mapping, dense IDs otherwise. Node IDs the
+// backend rejects (sling.ErrNodeRange) answer 400, like parse failures.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 
 	"sling"
 )
@@ -54,15 +66,22 @@ type Config struct {
 // DefaultMaxBatchOps is the default cap on operations per /batch request.
 const DefaultMaxBatchOps = 4096
 
-// Server routes HTTP queries to a SLING index. It is safe for concurrent
-// use; the underlying index pools query scratch internally.
+// Server routes HTTP queries to a SLING index through the sling.Querier
+// interface. It is safe for concurrent use; the underlying index pools
+// query scratch internally.
 type Server struct {
-	be     backend
+	q      sling.Querier
+	stats  func() map[string]interface{}
 	dyn    *sling.DynamicIndex    // non-nil in dynamic mode only
+	nodes  int                    // served node count (fixed for the server's lifetime)
 	labels []int64                // dense ID -> original label; nil = identity
 	byLbl  map[int64]sling.NodeID // original label -> dense ID
 	mux    *http.ServeMux
 	cfg    Config
+
+	// canceledOps counts operations dropped because the client abandoned
+	// the request (context cancelled mid-query or mid-batch).
+	canceledOps atomic.Uint64
 }
 
 // New creates a Server over a built in-memory index with a default
@@ -77,7 +96,7 @@ func New(ix *sling.Index, labels []int64) (*Server, error) {
 // kept the last duplicate would route queries for the earlier node to
 // the wrong one.
 func NewWithConfig(ix *sling.Index, labels []int64, cfg Config) (*Server, error) {
-	return newServer(memBackend{ix: ix}, labels, cfg)
+	return newServer(ix, memStats(ix), labels, cfg)
 }
 
 // NewDisk creates a Server over a disk-resident index (Section 5.4):
@@ -85,7 +104,7 @@ func NewWithConfig(ix *sling.Index, labels []int64, cfg Config) (*Server, error)
 // positioned preads, through the index's pooled scratch and optional
 // entry cache.
 func NewDisk(di *sling.DiskIndex, labels []int64, cfg Config) (*Server, error) {
-	return newServer(diskBackend{di: di}, labels, cfg)
+	return newServer(di, diskStats(di), labels, cfg)
 }
 
 // NewDynamic creates a Server over an updatable index. The query surface
@@ -93,7 +112,7 @@ func NewDisk(di *sling.DiskIndex, labels []int64, cfg Config) (*Server, error) {
 // operations, POST /rebuild swaps in a freshly built epoch, and /stats
 // reports epoch, staleness-frontier, and rebuild-state counters.
 func NewDynamic(dx *sling.DynamicIndex, labels []int64, cfg Config) (*Server, error) {
-	s, err := newServer(dynBackend{dx: dx}, labels, cfg)
+	s, err := newServer(dx, dynStats(dx), labels, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -103,14 +122,25 @@ func NewDynamic(dx *sling.DynamicIndex, labels []int64, cfg Config) (*Server, er
 	return s, nil
 }
 
-func newServer(be backend, labels []int64, cfg Config) (*Server, error) {
+// NewQuerier creates a Server over any sling.Querier — the constructor a
+// future backend (sharded, replicated, remote) plugs into without the
+// server growing a new mode. /stats reports the backend's QuerierMeta.
+func NewQuerier(q sling.Querier, labels []int64, cfg Config) (*Server, error) {
+	return newServer(q, querierStats(q), labels, cfg)
+}
+
+func newServer(q sling.Querier, stats func() map[string]interface{}, labels []int64, cfg Config) (*Server, error) {
 	if cfg.BatchWorkers <= 0 {
 		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.MaxBatchOps <= 0 {
 		cfg.MaxBatchOps = DefaultMaxBatchOps
 	}
-	s := &Server{be: be, labels: labels, cfg: cfg}
+	// Cache the node count: the node set is fixed for every backend
+	// (the dynamic layer mutates edges, never nodes), and Meta() on the
+	// dynamic backend costs epoch acquisitions — too much for a check
+	// that runs per node parameter.
+	s := &Server{q: q, stats: stats, nodes: q.Meta().Nodes, labels: labels, cfg: cfg}
 	if labels != nil {
 		s.byLbl = make(map[int64]sling.NodeID, len(labels))
 		for id, l := range labels {
@@ -170,29 +200,77 @@ func (s *Server) label(id sling.NodeID) int64 {
 	return s.labels[id]
 }
 
+// numNodes is the served node count, cached at construction.
+func (s *Server) numNodes() int { return s.nodes }
+
+// denseID resolves a parsed int64 node parameter to a dense NodeID:
+// label-map lookup when the server has one, range-checked narrowing
+// otherwise. The range check must stay here even though every Querier
+// validates node IDs — NodeID is 32-bit, so an unchecked int64 like
+// 2^32+5 would silently truncate to a valid-looking node before the
+// backend could reject it.
+func (s *Server) denseID(raw int64) (sling.NodeID, error) {
+	if s.byLbl != nil {
+		id, ok := s.byLbl[raw]
+		if !ok {
+			return 0, fmt.Errorf("%w: node %d not in graph", sling.ErrNodeRange, raw)
+		}
+		return id, nil
+	}
+	if raw < 0 || raw >= int64(s.numNodes()) {
+		return 0, fmt.Errorf("%w: node %d not in [0,%d)", sling.ErrNodeRange, raw, s.numNodes())
+	}
+	return sling.NodeID(raw), nil
+}
+
 // node parses a node parameter into a dense ID.
 func (s *Server) node(q string) (sling.NodeID, error) {
 	raw, err := strconv.ParseInt(q, 10, 64)
 	if err != nil {
 		return 0, fmt.Errorf("bad node %q", q)
 	}
-	if s.byLbl != nil {
-		id, ok := s.byLbl[raw]
-		if !ok {
-			return 0, fmt.Errorf("node %d not in graph", raw)
-		}
-		return id, nil
+	return s.denseID(raw)
+}
+
+// queryError maps a Querier error to the HTTP response: a cancelled
+// request is logged, counted, and dropped without a response (the
+// client is gone — nginx's 499); a deadline expiry answers 504 (the
+// client may still be connected behind a server-side timeout, so it
+// must not see a bogus empty 200); node-range errors answer 400 like
+// parameter parse failures; anything else is a 500.
+func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.canceledOps.Add(1)
+		log.Printf("server: %s %s abandoned mid-query (%v)", r.Method, r.URL.Path, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.canceledOps.Add(1)
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, sling.ErrNodeRange):
+		httpErrorFor(w, http.StatusBadRequest, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
 	}
-	if raw < 0 || raw >= int64(s.be.NumNodes()) {
-		return 0, fmt.Errorf("node %d out of range [0,%d)", raw, s.be.NumNodes())
-	}
-	return sling.NodeID(raw), nil
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// httpErrorFor is httpError with a machine-readable "code" field for
+// errors clients dispatch on: node-range failures carry "node_range", so
+// an HTTP client can reconstruct sling.ErrNodeRange without parsing the
+// message.
+func httpErrorFor(w http.ResponseWriter, status int, err error) {
+	body := map[string]string{"error": err.Error()}
+	if errors.Is(err, sling.ErrNodeRange) {
+		body["code"] = "node_range"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -212,17 +290,17 @@ type ScoredNode struct {
 func (s *Server) handleSimRank(w http.ResponseWriter, r *http.Request) {
 	u, err := s.node(r.URL.Query().Get("u"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpErrorFor(w, http.StatusBadRequest, err)
 		return
 	}
 	v, err := s.node(r.URL.Query().Get("v"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpErrorFor(w, http.StatusBadRequest, err)
 		return
 	}
-	score, err := s.be.SimRank(u, v)
+	score, err := s.q.SimRank(r.Context(), u, v)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.queryError(w, r, err)
 		return
 	}
 	writeJSON(w, map[string]interface{}{
@@ -235,7 +313,7 @@ func (s *Server) handleSimRank(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	u, err := s.node(r.URL.Query().Get("u"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpErrorFor(w, http.StatusBadRequest, err)
 		return
 	}
 	limit := -1
@@ -247,9 +325,9 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = l
 	}
-	scores, err := s.sourceScores(u, limit)
+	scores, err := s.sourceScores(r.Context(), u, limit)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.queryError(w, r, err)
 		return
 	}
 	writeJSON(w, map[string]interface{}{"u": s.label(u), "scores": scores})
@@ -260,9 +338,9 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 // nodes in descending score order (ties by ascending node ID), selected
 // with the size-limit heap rather than a full sort. The result is never
 // nil, so it always encodes as a JSON array.
-func (s *Server) sourceScores(u sling.NodeID, limit int) ([]ScoredNode, error) {
+func (s *Server) sourceScores(ctx context.Context, u sling.NodeID, limit int) ([]ScoredNode, error) {
 	if limit < 0 {
-		scores, err := s.be.SingleSource(u)
+		scores, err := s.q.SingleSource(ctx, u, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -272,7 +350,7 @@ func (s *Server) sourceScores(u sling.NodeID, limit int) ([]ScoredNode, error) {
 		}
 		return out, nil
 	}
-	top, err := s.be.SourceTop(u, limit)
+	top, err := s.q.SourceTop(ctx, u, limit)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +370,7 @@ func (s *Server) scored(top []sling.Scored) []ScoredNode {
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	u, err := s.node(r.URL.Query().Get("u"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpErrorFor(w, http.StatusBadRequest, err)
 		return
 	}
 	k := 10
@@ -303,14 +381,16 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	top, err := s.be.TopK(u, k)
+	top, err := s.q.TopK(r.Context(), u, k)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.queryError(w, r, err)
 		return
 	}
 	writeJSON(w, map[string]interface{}{"u": s.label(u), "results": s.scored(top)})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.be.Stats())
+	st := s.stats()
+	st["canceled_ops"] = s.canceledOps.Load()
+	writeJSON(w, st)
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,45 @@ import (
 	"sling/internal/rng"
 )
 
+// Direct-index reference answers for asserting HTTP responses. The
+// facade API is context-aware and error-uniform; tests use background
+// contexts and fail fast on errors.
+func pairScore(t *testing.T, ix *sling.Index, u, v sling.NodeID) float64 {
+	t.Helper()
+	s, err := ix.SimRank(context.Background(), u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sourceVec(t *testing.T, ix *sling.Index, u sling.NodeID) []float64 {
+	t.Helper()
+	row, err := ix.SingleSource(context.Background(), u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return row
+}
+
+func topK(t *testing.T, ix *sling.Index, u sling.NodeID, k int) []sling.Scored {
+	t.Helper()
+	top, err := ix.TopK(context.Background(), u, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func sourceTop(t *testing.T, ix *sling.Index, u sling.NodeID, limit int) []sling.Scored {
+	t.Helper()
+	top, err := ix.SourceTop(context.Background(), u, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
 func testServer(t *testing.T, labels []int64) (*Server, *sling.Index) {
 	t.Helper()
 	r := rng.New(5)
@@ -20,7 +60,7 @@ func testServer(t *testing.T, labels []int64) (*Server, *sling.Index) {
 	for i := 0; i < 200; i++ {
 		b.AddEdge(sling.NodeID(r.Intn(n)), sling.NodeID(r.Intn(n)))
 	}
-	ix, err := sling.Build(b.Build(), &sling.Options{Eps: 0.08, Seed: 7})
+	ix, err := sling.Build(b.Build(), sling.WithEps(0.08), sling.WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +98,7 @@ func TestSimRankEndpoint(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
-	want := ix.SimRank(3, 7)
+	want := pairScore(t, ix, 3, 7)
 	if got := body["score"].(float64); got != want {
 		t.Fatalf("score %v, want %v", got, want)
 	}
@@ -96,7 +136,7 @@ func TestSourceEndpoint(t *testing.T) {
 	if len(scores) != ix.Graph().NumNodes() {
 		t.Fatalf("got %d scores", len(scores))
 	}
-	want := ix.SingleSource(5, nil)
+	want := sourceVec(t, ix, 5)
 	first := scores[0].(map[string]interface{})
 	if first["score"].(float64) != want[0] {
 		t.Fatalf("score[0] mismatch")
@@ -125,7 +165,7 @@ func TestTopKEndpoint(t *testing.T) {
 	if len(results) > 5 {
 		t.Fatalf("k ignored: %d results", len(results))
 	}
-	top := ix.TopK(2, 5)
+	top := topK(t, ix, 2, 5)
 	if len(results) != len(top) {
 		t.Fatalf("result count %d vs %d", len(results), len(top))
 	}
@@ -164,7 +204,7 @@ func TestLabelMapping(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
-	if got, want := body["score"].(float64), ix.SimRank(3, 7); got != want {
+	if got, want := body["score"].(float64), pairScore(t, ix, 3, 7); got != want {
 		t.Fatalf("label-mapped score %v, want %v", got, want)
 	}
 	if body["u"].(float64) != 1030 {
@@ -178,7 +218,7 @@ func TestLabelMapping(t *testing.T) {
 
 func TestConcurrentRequests(t *testing.T) {
 	s, ix := testServer(t, nil)
-	want := ix.SimRank(1, 2)
+	want := pairScore(t, ix, 1, 2)
 	var wg sync.WaitGroup
 	fail := make(chan string, 16)
 	for w := 0; w < 8; w++ {
@@ -227,7 +267,7 @@ func TestSourceLimitReturnsTopScores(t *testing.T) {
 	if len(scores) != 4 {
 		t.Fatalf("limit ignored: %d scores", len(scores))
 	}
-	want := ix.SourceTop(5, 4)
+	want := sourceTop(t, ix, 5, 4)
 	for i, raw := range scores {
 		e := raw.(map[string]interface{})
 		if int64(e["node"].(float64)) != int64(want[i].Node) || e["score"].(float64) != want[i].Score {
@@ -262,11 +302,11 @@ func TestBatchHappyPath(t *testing.T) {
 		t.Fatalf("%d results", len(results))
 	}
 	r0 := results[0].(map[string]interface{})
-	if r0["score"].(float64) != ix.SimRank(3, 7) {
+	if r0["score"].(float64) != pairScore(t, ix, 3, 7) {
 		t.Fatalf("batch simrank %v != direct", r0["score"])
 	}
 	r1 := results[1].(map[string]interface{})
-	top := ix.TopK(2, 5)
+	top := topK(t, ix, 2, 5)
 	got := r1["results"].([]interface{})
 	if len(got) != len(top) {
 		t.Fatalf("batch topk %d results, want %d", len(got), len(top))
@@ -282,14 +322,14 @@ func TestBatchHappyPath(t *testing.T) {
 		t.Fatalf("batch source returned %d scores", n)
 	}
 	r3 := results[3].(map[string]interface{})
-	if r3["score"].(float64) != ix.SimRank(0, 0) {
+	if r3["score"].(float64) != pairScore(t, ix, 0, 0) {
 		t.Fatal("batch self simrank mismatch")
 	}
 }
 
 func TestBatchMatchesSerialUnderConcurrentRequests(t *testing.T) {
 	s, ix := testServer(t, nil)
-	want := ix.SimRank(1, 2)
+	want := pairScore(t, ix, 1, 2)
 	var wg sync.WaitGroup
 	fail := make(chan string, 16)
 	for w := 0; w < 8; w++ {
@@ -384,7 +424,7 @@ func TestBatchLabelMapping(t *testing.T) {
 	}
 	results := body["results"].([]interface{})
 	r0 := results[0].(map[string]interface{})
-	if r0["score"].(float64) != ix.SimRank(3, 7) {
+	if r0["score"].(float64) != pairScore(t, ix, 3, 7) {
 		t.Fatal("label-mapped batch score mismatch")
 	}
 	if r0["u"].(float64) != 1030 {
@@ -539,7 +579,7 @@ func TestDiskServerLabelMapping(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
-	if got, want := body["score"].(float64), ix.SimRank(3, 7); got != want {
+	if got, want := body["score"].(float64), pairScore(t, ix, 3, 7); got != want {
 		t.Fatalf("label-mapped disk score %v, want %v", got, want)
 	}
 	if body["u"].(float64) != 1030 {

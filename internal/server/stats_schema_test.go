@@ -29,6 +29,7 @@ var (
 		"graph_bytes":  "number",
 		"error_bound":  "number",
 		"decay_factor": "number",
+		"canceled_ops": "number",
 	}
 	diskStatsSchema = statsSchema{
 		"mode":           "string",
@@ -39,6 +40,7 @@ var (
 		"graph_bytes":    "number",
 		"error_bound":    "number",
 		"decay_factor":   "number",
+		"canceled_ops":   "number",
 		"cache": statsSchema{
 			"hits":      "number",
 			"misses":    "number",
@@ -64,6 +66,7 @@ var (
 		"index_bytes":       "number",
 		"error_bound":       "number",
 		"decay_factor":      "number",
+		"canceled_ops":      "number",
 	}
 )
 
@@ -122,7 +125,7 @@ func TestStatsSchemaPerMode(t *testing.T) {
 	}
 	g := b.Build()
 	opt := &sling.Options{Eps: 0.1, Seed: 13}
-	ix, err := sling.Build(g, opt)
+	ix, err := sling.Build(g, sling.WithOptions(*opt))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +159,11 @@ func TestStatsSchemaPerMode(t *testing.T) {
 			return s
 		}},
 		{"dynamic", dynamicStatsSchema, func(t *testing.T) *Server {
-			dx, err := sling.NewDynamic(g, opt, &sling.DynamicOptions{NumWalks: 32})
+			dx, err := sling.NewDynamic(g, &sling.DynamicOptions{NumWalks: 32}, sling.WithOptions(*opt))
 			if err != nil {
 				t.Fatal(err)
 			}
-			t.Cleanup(dx.Close)
+			t.Cleanup(func() { dx.Close() })
 			s, err := NewDynamic(dx, nil, Config{})
 			if err != nil {
 				t.Fatal(err)

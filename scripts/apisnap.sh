@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerates the exported-API golden snapshot: every exported
+# declaration of package sling INCLUDING method signatures, struct
+# fields, and interface bodies (from `go doc -all`), with doc prose,
+# comments, and blank lines stripped so wording can evolve without
+# churning the API gate. CI diffs it against api/sling.txt and fails on
+# any unreviewed surface change; after an intentional change, refresh
+# with:
+#
+#   scripts/apisnap.sh > api/sling.txt
+set -e
+go doc -all sling | awk '
+/^(CONSTANTS|VARIABLES|FUNCTIONS|TYPES)$/ { capture = 1 }
+!capture { next }
+/^    / { next }           # 4-space indent = doc prose
+/^$/ { next }              # blank separators
+/^\t*\/\// { next }        # source comments inside type bodies
+{ print }
+'

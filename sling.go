@@ -20,9 +20,15 @@
 //	b.AddEdge(2, 3)
 //	g := b.Build()
 //
-//	ix, err := sling.Build(g, nil) // paper defaults: c=0.6, ε=0.025
+//	ix, err := sling.Build(g) // paper defaults: c=0.6, ε=0.025
 //	if err != nil { ... }
-//	score := ix.SimRank(0, 1)
+//	score, err := ix.SimRank(ctx, 0, 1)
+//
+// Every backend — the in-memory Index, the disk-resident DiskIndex, and
+// the updatable DynamicIndex — implements the Querier interface: the same
+// five query methods, context-aware and error-uniform, so serving code
+// written against Querier runs over any of them. Construction is tuned
+// with functional options (WithEps, WithWorkers, ...).
 //
 // The index is safe for concurrent queries. See the examples directory
 // for larger scenarios, and DESIGN.md / EXPERIMENTS.md for how this
@@ -30,6 +36,7 @@
 package sling
 
 import (
+	"context"
 	"io"
 	"runtime"
 
@@ -52,8 +59,12 @@ type Edge = graph.Edge
 // GraphBuilder accumulates edges and produces an immutable Graph.
 type GraphBuilder = graph.Builder
 
-// Options configures Build. The zero value reproduces the paper's
-// experimental configuration (c = 0.6, ε = 0.025, δ_d = 1/n²).
+// Options is the legacy construction configuration. The zero value
+// reproduces the paper's experimental configuration (c = 0.6, ε = 0.025,
+// δ_d = 1/n²).
+//
+// Deprecated: pass functional options (WithEps, WithWorkers, ...) to
+// Build instead; an assembled Options value is applied with WithOptions.
 type Options = core.Options
 
 // BuildStats reports preprocessing work (walk pairs drawn, local-update
@@ -85,21 +96,23 @@ func LoadEdgeListFile(path string, undirected bool) (*Graph, []int64, error) {
 
 // Index answers SimRank queries over a fixed graph with the ε additive
 // error guarantee of the paper's Theorem 1. It is immutable and safe for
-// concurrent use; per-goroutine query scratch is pooled internally.
+// concurrent use; per-goroutine query scratch is pooled internally. Index
+// implements Querier.
 type Index struct {
 	x    *core.Index
 	pool *core.ScratchPool
+	n    int
 }
 
 func wrap(x *core.Index) *Index {
-	return &Index{x: x, pool: x.NewScratchPool()}
+	return &Index{x: x, pool: x.NewScratchPool(), n: x.Graph().NumNodes()}
 }
 
-// Build constructs a SLING index over g. A nil Options uses the paper's
+// Build constructs a SLING index over g; no options means the paper's
 // defaults. Building costs O(m/ε + n·log(n/δ)/ε²) time and the index
 // takes O(n/ε) space.
-func Build(g *Graph, o *Options) (*Index, error) {
-	x, err := core.Build(g, o)
+func Build(g *Graph, opts ...BuildOption) (*Index, error) {
+	x, err := core.Build(g, resolveBuild(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -107,8 +120,8 @@ func Build(g *Graph, o *Options) (*Index, error) {
 }
 
 // BuildWithStats is Build plus preprocessing statistics.
-func BuildWithStats(g *Graph, o *Options) (*Index, BuildStats, error) {
-	x, st, err := core.BuildWithStats(g, o)
+func BuildWithStats(g *Graph, opts ...BuildOption) (*Index, BuildStats, error) {
+	x, st, err := core.BuildWithStats(g, resolveBuild(opts))
 	if err != nil {
 		return nil, st, err
 	}
@@ -118,29 +131,54 @@ func BuildWithStats(g *Graph, o *Options) (*Index, BuildStats, error) {
 // BuildOutOfCore constructs the same index while keeping the hitting-
 // probability entries on disk (in spillDir) until final assembly, holding
 // at most memBudget bytes of them in memory (Section 5.4 of the paper).
-func BuildOutOfCore(g *Graph, o *Options, spillDir string, memBudget int64) (*Index, error) {
-	x, err := core.BuildOutOfCore(g, o, core.OutOfCoreOptions{Dir: spillDir, MemBudget: memBudget})
+func BuildOutOfCore(g *Graph, spillDir string, memBudget int64, opts ...BuildOption) (*Index, error) {
+	x, err := core.BuildOutOfCore(g, resolveBuild(opts),
+		core.OutOfCoreOptions{Dir: spillDir, MemBudget: memBudget})
 	if err != nil {
 		return nil, err
 	}
 	return wrap(x), nil
 }
 
-// SimRank returns s̃(u, v) with at most ErrorBound additive error.
-func (ix *Index) SimRank(u, v NodeID) float64 { return ix.pool.SimRank(u, v) }
+// SimRank returns s̃(u, v) with at most Meta().Eps additive error.
+func (ix *Index) SimRank(ctx context.Context, u, v NodeID) (float64, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	if err := checkNode(ix.n, u); err != nil {
+		return 0, err
+	}
+	if err := checkNode(ix.n, v); err != nil {
+		return 0, err
+	}
+	return ix.pool.SimRank(u, v), nil
+}
 
 // SingleSource returns s̃(u, v) for every node v (Algorithm 6 of the
 // paper), writing into out when it has capacity NumNodes.
-func (ix *Index) SingleSource(u NodeID, out []float64) []float64 {
-	return ix.pool.SingleSource(u, out)
+func (ix *Index) SingleSource(ctx context.Context, u NodeID, out []float64) ([]float64, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNode(ix.n, u); err != nil {
+		return nil, err
+	}
+	return ix.pool.SingleSource(u, out), nil
 }
 
 // SingleSourceBatch answers one single-source query per source in us,
-// fanning the sources across Options.Workers goroutines with per-worker
+// fanning the sources across WithWorkers goroutines with per-worker
 // scratch. Row i equals SingleSource(us[i], nil) exactly, at any worker
-// count.
-func (ix *Index) SingleSourceBatch(us []NodeID) [][]float64 {
-	return ix.x.SingleSourceBatch(us, 0)
+// count. Cancellation is observed between sources: a cancelled ctx stops
+// the fan-out and returns ctx.Err().
+func (ix *Index) SingleSourceBatch(ctx context.Context, us []NodeID) ([][]float64, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNodes(ix.n, us); err != nil {
+		return nil, err
+	}
+	return ix.x.SingleSourceBatch(ctx, us, 0)
 }
 
 // Scored is a node with a SimRank score, as returned by TopK and
@@ -151,12 +189,43 @@ type Scored = core.TopEntry
 // descending score order, breaking ties by node ID. Selection is a
 // size-k min-heap over one single-source evaluation — O(n log k), not a
 // full sort — and every buffer beyond the returned slice is pooled.
-func (ix *Index) TopK(u NodeID, k int) []Scored { return ix.pool.TopK(u, k) }
+// k <= 0 yields an empty result; k > NumNodes behaves like k = NumNodes.
+func (ix *Index) TopK(ctx context.Context, u NodeID, k int) ([]Scored, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNode(ix.n, u); err != nil {
+		return nil, err
+	}
+	return ix.pool.TopK(u, k), nil
+}
 
 // SourceTop returns the limit highest-scoring nodes for source u (u
 // itself included, typically in first place with s(u,u)=1) in descending
 // score order, breaking ties by node ID.
-func (ix *Index) SourceTop(u NodeID, limit int) []Scored { return ix.pool.SourceTop(u, limit) }
+func (ix *Index) SourceTop(ctx context.Context, u NodeID, limit int) ([]Scored, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNode(ix.n, u); err != nil {
+		return nil, err
+	}
+	return ix.pool.SourceTop(u, limit), nil
+}
+
+// Meta describes the index as a Querier backend.
+func (ix *Index) Meta() QuerierMeta {
+	return QuerierMeta{
+		Name:  "memory",
+		Nodes: ix.n,
+		C:     ix.x.C(),
+		Eps:   ix.x.ErrorBound(),
+	}
+}
+
+// Close implements Querier; the in-memory index holds no external
+// resources, so it is a no-op.
+func (ix *Index) Close() error { return nil }
 
 // Graph returns the graph the index was built over.
 func (ix *Index) Graph() *Graph { return ix.x.Graph() }
@@ -205,10 +274,12 @@ func ReadIndex(r io.Reader, g *Graph) (*Index, error) {
 // costs two positioned reads (Section 5.4 of the paper). It is safe for
 // arbitrary concurrent use: positioned reads are goroutine-safe, query
 // scratch is pooled internally, and an optional sharded LRU entry cache
-// (DiskOptions.CacheBytes) lets hot nodes skip I/O entirely.
+// (DiskOptions.CacheBytes) lets hot nodes skip I/O entirely. DiskIndex
+// implements Querier.
 type DiskIndex struct {
 	d       *core.DiskIndex
 	pool    *core.DiskScratchPool
+	n       int
 	workers int
 }
 
@@ -238,7 +309,7 @@ func OpenDiskWithOptions(path string, g *Graph, o *DiskOptions) (*DiskIndex, err
 	if err != nil {
 		return nil, err
 	}
-	di := &DiskIndex{d: d, pool: d.NewScratchPool(), workers: runtime.GOMAXPROCS(0)}
+	di := &DiskIndex{d: d, pool: d.NewScratchPool(), n: g.NumNodes(), workers: runtime.GOMAXPROCS(0)}
 	if o != nil {
 		if o.CacheBytes > 0 {
 			d.EnableCache(o.CacheBytes)
@@ -252,33 +323,79 @@ func OpenDiskWithOptions(path string, g *Graph, o *DiskOptions) (*DiskIndex, err
 
 // SimRank returns s̃(u, v) reading H(u) and H(v) from disk (or the entry
 // cache), with pooled scratch; safe for concurrent use.
-func (di *DiskIndex) SimRank(u, v NodeID) (float64, error) {
+func (di *DiskIndex) SimRank(ctx context.Context, u, v NodeID) (float64, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	if err := checkNode(di.n, u); err != nil {
+		return 0, err
+	}
+	if err := checkNode(di.n, v); err != nil {
+		return 0, err
+	}
 	return di.pool.SimRank(u, v)
 }
 
 // SingleSource returns s̃(u, v) for every node v, reading H(u) from disk
 // with one positioned read and propagating in memory (Algorithm 6).
-func (di *DiskIndex) SingleSource(u NodeID, out []float64) ([]float64, error) {
+func (di *DiskIndex) SingleSource(ctx context.Context, u NodeID, out []float64) ([]float64, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNode(di.n, u); err != nil {
+		return nil, err
+	}
 	return di.pool.SingleSource(u, out)
 }
 
 // SingleSourceBatch answers one single-source query per source in us,
 // fanned across DiskOptions.Workers goroutines with per-worker scratch.
 // Row i equals SingleSource(us[i], nil) exactly, at any worker count.
-func (di *DiskIndex) SingleSourceBatch(us []NodeID) ([][]float64, error) {
-	return di.d.SingleSourceBatch(us, di.workers)
+// Cancellation is observed between sources.
+func (di *DiskIndex) SingleSourceBatch(ctx context.Context, us []NodeID) ([][]float64, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNodes(di.n, us); err != nil {
+		return nil, err
+	}
+	return di.d.SingleSourceBatch(ctx, us, di.workers)
 }
 
 // TopK returns the k nodes most similar to u (excluding u itself) in
 // descending score order, selected with the same size-k heap as the
 // in-memory index over one disk single-source evaluation.
-func (di *DiskIndex) TopK(u NodeID, k int) ([]Scored, error) { return di.pool.TopK(u, k) }
+func (di *DiskIndex) TopK(ctx context.Context, u NodeID, k int) ([]Scored, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNode(di.n, u); err != nil {
+		return nil, err
+	}
+	return di.pool.TopK(u, k)
+}
 
 // SourceTop returns the limit highest-scoring nodes for source u (u
 // itself included, typically first with s(u,u)=1) in descending score
 // order, breaking ties by node ID.
-func (di *DiskIndex) SourceTop(u NodeID, limit int) ([]Scored, error) {
+func (di *DiskIndex) SourceTop(ctx context.Context, u NodeID, limit int) ([]Scored, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNode(di.n, u); err != nil {
+		return nil, err
+	}
 	return di.pool.SourceTop(u, limit)
+}
+
+// Meta describes the disk index as a Querier backend.
+func (di *DiskIndex) Meta() QuerierMeta {
+	return QuerierMeta{
+		Name:  "disk",
+		Nodes: di.n,
+		C:     di.d.Meta().C(),
+		Eps:   di.d.Meta().ErrorBound(),
+	}
 }
 
 // Graph returns the graph the index was built over.
@@ -326,7 +443,7 @@ type DynamicOptions struct {
 	// deployments usually set an explicit budget.
 	NumWalks int
 	// Depth overrides the walk truncation / staleness frontier depth.
-	// 0 derives the smallest depth whose truncated tail costs ≤ ε/2.
+	// 0 derives the smallest depth whose truncated tail costs ≤ eps/2.
 	Depth int
 	// Workers bounds SingleSourceBatch fan-out. Default GOMAXPROCS.
 	Workers int
@@ -342,19 +459,18 @@ type DynamicOptions struct {
 // rebuild (manual or threshold-triggered, in the background) swaps in a
 // fresh index as a new epoch with zero query downtime. All scores are
 // clamped into [0, 1]. Queries are safe for arbitrary concurrent use and
-// never block on updates.
+// never block on updates. DynamicIndex implements Querier.
 type DynamicIndex struct {
 	d *dynamic.Dynamic
+	n int
 }
 
-// NewDynamic builds an index over g (nil Options = paper defaults) and
-// wraps it for edge updates. The node set is fixed; edges may be added
-// and removed freely afterwards.
-func NewDynamic(g *Graph, o *Options, do *DynamicOptions) (*DynamicIndex, error) {
-	var opt dynamic.Options
-	if o != nil {
-		opt.Build = *o
-	}
+// NewDynamic builds an index over g (construction tuned with the same
+// functional options as Build) and wraps it for edge updates. The node
+// set is fixed; edges may be added and removed freely afterwards. A nil
+// do takes the dynamic-layer defaults.
+func NewDynamic(g *Graph, do *DynamicOptions, opts ...BuildOption) (*DynamicIndex, error) {
+	opt := dynamic.Options{Build: *resolveBuild(opts)}
 	if do != nil {
 		opt.RebuildThreshold = do.RebuildThreshold
 		opt.NumWalks = do.NumWalks
@@ -366,7 +482,7 @@ func NewDynamic(g *Graph, o *Options, do *DynamicOptions) (*DynamicIndex, error)
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicIndex{d: d}, nil
+	return &DynamicIndex{d: d, n: g.NumNodes()}, nil
 }
 
 // AddEdge inserts u -> v, reporting whether the graph changed (false when
@@ -393,31 +509,87 @@ func (dx *DynamicIndex) TriggerRebuild() bool { return dx.d.TriggerRebuild() }
 
 // Close stops updates and rebuilds (an in-flight background rebuild is
 // discarded). Queries remain valid against the last epoch.
-func (dx *DynamicIndex) Close() { dx.d.Close() }
+func (dx *DynamicIndex) Close() error {
+	dx.d.Close()
+	return nil
+}
 
 // SimRank returns s̃(u, v) in [0, 1]: static-index fast path for
 // unaffected nodes, fresh estimation on the mutated graph otherwise.
-func (dx *DynamicIndex) SimRank(u, v NodeID) float64 { return dx.d.SimRank(u, v) }
+func (dx *DynamicIndex) SimRank(ctx context.Context, u, v NodeID) (float64, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	if err := checkNode(dx.n, u); err != nil {
+		return 0, err
+	}
+	if err := checkNode(dx.n, v); err != nil {
+		return 0, err
+	}
+	return dx.d.SimRank(u, v), nil
+}
 
 // SingleSource returns s̃(u, v) for every node v, writing into out when
 // it has capacity.
-func (dx *DynamicIndex) SingleSource(u NodeID, out []float64) []float64 {
-	return dx.d.SingleSource(u, out)
+func (dx *DynamicIndex) SingleSource(ctx context.Context, u NodeID, out []float64) ([]float64, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNode(dx.n, u); err != nil {
+		return nil, err
+	}
+	return dx.d.SingleSource(u, out), nil
 }
 
 // SingleSourceBatch answers one single-source query per source, fanned
-// across DynamicOptions.Workers goroutines.
-func (dx *DynamicIndex) SingleSourceBatch(us []NodeID) [][]float64 {
-	return dx.d.SingleSourceBatch(us, 0)
+// across DynamicOptions.Workers goroutines. Cancellation is observed
+// between sources.
+func (dx *DynamicIndex) SingleSourceBatch(ctx context.Context, us []NodeID) ([][]float64, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNodes(dx.n, us); err != nil {
+		return nil, err
+	}
+	return dx.d.SingleSourceBatch(ctx, us, 0)
 }
 
 // TopK returns the k nodes most similar to u (excluding u) in descending
 // score order, ties by ascending node ID.
-func (dx *DynamicIndex) TopK(u NodeID, k int) []Scored { return dx.d.TopK(u, k) }
+func (dx *DynamicIndex) TopK(ctx context.Context, u NodeID, k int) ([]Scored, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNode(dx.n, u); err != nil {
+		return nil, err
+	}
+	return dx.d.TopK(u, k), nil
+}
 
 // SourceTop returns the limit highest-scoring nodes for source u (u
 // itself included) in descending score order.
-func (dx *DynamicIndex) SourceTop(u NodeID, limit int) []Scored { return dx.d.SourceTop(u, limit) }
+func (dx *DynamicIndex) SourceTop(ctx context.Context, u NodeID, limit int) ([]Scored, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := checkNode(dx.n, u); err != nil {
+		return nil, err
+	}
+	return dx.d.SourceTop(u, limit), nil
+}
+
+// Meta describes the dynamic index as a Querier backend. Epoch advances
+// with every rebuild swap.
+func (dx *DynamicIndex) Meta() QuerierMeta {
+	return QuerierMeta{
+		Name:    "dynamic",
+		Nodes:   dx.n,
+		C:       dx.d.C(),
+		Eps:     dx.d.ErrorBound(),
+		Clamped: true,
+		Epoch:   dx.d.Epoch(),
+	}
+}
 
 // AffectedNodes returns the staleness frontier as ascending node IDs.
 func (dx *DynamicIndex) AffectedNodes() []NodeID { return dx.d.AffectedNodes() }

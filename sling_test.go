@@ -2,12 +2,18 @@ package sling
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"testing"
 
 	"sling/internal/rng"
 )
+
+// bg is the context used by tests that exercise query semantics rather
+// than cancellation.
+var bg = context.Background()
 
 func testGraph(n, m int, seed uint64) *Graph {
 	r := rng.New(seed)
@@ -18,29 +24,78 @@ func testGraph(n, m int, seed uint64) *Graph {
 	return b.Build()
 }
 
+// The helpers below drive any Querier and fail the test on error, so the
+// bulk of the suite reads like the old infallible API while still
+// covering the uniform error path.
+
+func mustPair(t *testing.T, q Querier, u, v NodeID) float64 {
+	t.Helper()
+	s, err := q.SimRank(bg, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustSource(t *testing.T, q Querier, u NodeID) []float64 {
+	t.Helper()
+	row, err := q.SingleSource(bg, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return row
+}
+
+func mustTopK(t *testing.T, q Querier, u NodeID, k int) []Scored {
+	t.Helper()
+	top, err := q.TopK(bg, u, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func mustSourceTop(t *testing.T, q Querier, u NodeID, limit int) []Scored {
+	t.Helper()
+	top, err := q.SourceTop(bg, u, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func mustBatch(t *testing.T, q Querier, us []NodeID) [][]float64 {
+	t.Helper()
+	rows, err := q.SingleSourceBatch(bg, us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
 func TestQuickstartFlow(t *testing.T) {
 	b := NewGraphBuilder(4)
 	b.AddEdge(0, 2)
 	b.AddEdge(1, 2)
 	b.AddEdge(2, 3)
 	g := b.Build()
-	ix, err := Build(g, &Options{Eps: 0.05, Seed: 1})
+	ix, err := Build(g, WithEps(0.05), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Nodes 0 and 1 are in-twins of nothing (no in-neighbors), so their
 	// similarity is 0; node 2's only in-pair is (0,1).
-	if got := ix.SimRank(0, 1); got != 0 {
+	if got := mustPair(t, ix, 0, 1); got != 0 {
 		t.Fatalf("s(0,1) = %v, want 0 (both have no in-neighbors)", got)
 	}
-	if got := ix.SimRank(2, 2); math.Abs(got-1) > ix.ErrorBound() {
+	if got := mustPair(t, ix, 2, 2); math.Abs(got-1) > ix.ErrorBound() {
 		t.Fatalf("s(2,2) = %v", got)
 	}
 }
 
 func TestAccuracyAgainstExact(t *testing.T) {
 	g := testGraph(40, 220, 2)
-	ix, err := Build(g, &Options{Eps: 0.05, Seed: 3})
+	ix, err := Build(g, WithEps(0.05), WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +105,7 @@ func TestAccuracyAgainstExact(t *testing.T) {
 	}
 	for i := 0; i < 40; i++ {
 		for j := 0; j < 40; j++ {
-			got := ix.SimRank(NodeID(i), NodeID(j))
+			got := mustPair(t, ix, NodeID(i), NodeID(j))
 			if d := math.Abs(got - truth.At(i, j)); d > ix.ErrorBound() {
 				t.Fatalf("error %v at (%d,%d) exceeds %v", d, i, j, ix.ErrorBound())
 			}
@@ -60,14 +115,14 @@ func TestAccuracyAgainstExact(t *testing.T) {
 
 func TestConcurrentQueries(t *testing.T) {
 	g := testGraph(60, 360, 4)
-	ix, err := Build(g, &Options{Eps: 0.05, Seed: 5})
+	ix, err := Build(g, WithEps(0.05), WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Reference answers single-threaded.
 	want := make([]float64, 60)
 	for v := 0; v < 60; v++ {
-		want[v] = ix.SimRank(7, NodeID(v))
+		want[v] = mustPair(t, ix, 7, NodeID(v))
 	}
 	var wg sync.WaitGroup
 	errs := make(chan string, 8)
@@ -77,7 +132,8 @@ func TestConcurrentQueries(t *testing.T) {
 			defer wg.Done()
 			for rep := 0; rep < 50; rep++ {
 				for v := 0; v < 60; v++ {
-					if got := ix.SimRank(7, NodeID(v)); got != want[v] {
+					got, err := ix.SimRank(bg, 7, NodeID(v))
+					if err != nil || got != want[v] {
 						errs <- "concurrent query mismatch"
 						return
 					}
@@ -94,15 +150,15 @@ func TestConcurrentQueries(t *testing.T) {
 
 func TestSingleSourceAndTopK(t *testing.T) {
 	g := testGraph(50, 300, 6)
-	ix, err := Build(g, &Options{Eps: 0.05, Seed: 7})
+	ix, err := Build(g, WithEps(0.05), WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	scores := ix.SingleSource(3, nil)
+	scores := mustSource(t, ix, 3)
 	if len(scores) != 50 {
 		t.Fatalf("single-source returned %d scores", len(scores))
 	}
-	top := ix.TopK(3, 5)
+	top := mustTopK(t, ix, 3, 5)
 	if len(top) > 5 {
 		t.Fatalf("TopK returned %d", len(top))
 	}
@@ -121,21 +177,180 @@ func TestSingleSourceAndTopK(t *testing.T) {
 
 func TestTopKEdgeCases(t *testing.T) {
 	g := testGraph(10, 40, 8)
-	ix, err := Build(g, &Options{Eps: 0.1, Seed: 9})
+	ix, err := Build(g, WithEps(0.1), WithSeed(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := ix.TopK(0, 0); got != nil {
+	if got := mustTopK(t, ix, 0, 0); len(got) != 0 {
 		t.Fatal("TopK(k=0) returned results")
 	}
-	if got := ix.TopK(0, 1000); len(got) > 9 {
+	if got := mustTopK(t, ix, 0, 1000); len(got) > 9 {
 		t.Fatalf("TopK overflow: %d results", len(got))
+	}
+}
+
+// Every Querier method must reject out-of-range nodes with the shared
+// sentinel, before any work happens — the in-memory fast path used to
+// index straight into CSR arrays.
+func TestErrNodeRangeUniform(t *testing.T) {
+	g := testGraph(10, 40, 80)
+	ix, err := Build(g, WithEps(0.1), WithSeed(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/range.sling"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	di, err := OpenDisk(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer di.Close()
+	dx, err := NewDynamic(g, &DynamicOptions{NumWalks: 16}, WithEps(0.1), WithSeed(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dx.Close()
+
+	for _, bad := range []NodeID{-1, 10, 999} {
+		for _, q := range []Querier{ix, di, dx} {
+			name := q.Meta().Name
+			if _, err := q.SimRank(bg, bad, 0); !errors.Is(err, ErrNodeRange) {
+				t.Fatalf("%s: SimRank(%d, 0) err = %v, want ErrNodeRange", name, bad, err)
+			}
+			if _, err := q.SimRank(bg, 0, bad); !errors.Is(err, ErrNodeRange) {
+				t.Fatalf("%s: SimRank(0, %d) err = %v, want ErrNodeRange", name, bad, err)
+			}
+			if _, err := q.SingleSource(bg, bad, nil); !errors.Is(err, ErrNodeRange) {
+				t.Fatalf("%s: SingleSource(%d) err = %v, want ErrNodeRange", name, bad, err)
+			}
+			if _, err := q.SingleSourceBatch(bg, []NodeID{0, bad}); !errors.Is(err, ErrNodeRange) {
+				t.Fatalf("%s: SingleSourceBatch err = %v, want ErrNodeRange", name, err)
+			}
+			if _, err := q.TopK(bg, bad, 3); !errors.Is(err, ErrNodeRange) {
+				t.Fatalf("%s: TopK(%d) err = %v, want ErrNodeRange", name, bad, err)
+			}
+			if _, err := q.SourceTop(bg, bad, 3); !errors.Is(err, ErrNodeRange) {
+				t.Fatalf("%s: SourceTop(%d) err = %v, want ErrNodeRange", name, bad, err)
+			}
+		}
+	}
+}
+
+// A pre-cancelled context returns context.Canceled from every method of
+// every backend, before any work.
+func TestPreCancelledContext(t *testing.T) {
+	g := testGraph(12, 50, 82)
+	ix, err := Build(g, WithEps(0.1), WithSeed(83))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/cancel.sling"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	di, err := OpenDisk(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer di.Close()
+	dx, err := NewDynamic(g, &DynamicOptions{NumWalks: 16}, WithEps(0.1), WithSeed(83))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dx.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, q := range []Querier{ix, di, dx} {
+		name := q.Meta().Name
+		if _, err := q.SimRank(ctx, 0, 1); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: SimRank err = %v, want context.Canceled", name, err)
+		}
+		if _, err := q.SingleSource(ctx, 0, nil); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: SingleSource err = %v, want context.Canceled", name, err)
+		}
+		if _, err := q.SingleSourceBatch(ctx, []NodeID{0, 1}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: SingleSourceBatch err = %v, want context.Canceled", name, err)
+		}
+		if _, err := q.TopK(ctx, 0, 3); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: TopK err = %v, want context.Canceled", name, err)
+		}
+		if _, err := q.SourceTop(ctx, 0, 3); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: SourceTop err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// Meta must describe each backend consistently.
+func TestQuerierMeta(t *testing.T) {
+	g := testGraph(15, 60, 84)
+	ix, err := Build(g, WithEps(0.1), WithSeed(85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ix.Meta()
+	if m.Name != "memory" || m.Nodes != 15 || m.C != ix.C() || m.Eps != ix.ErrorBound() || m.Clamped || m.Epoch != 0 {
+		t.Fatalf("memory meta wrong: %+v", m)
+	}
+	path := t.TempDir() + "/meta.sling"
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	di, err := OpenDisk(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer di.Close()
+	dm := di.Meta()
+	if dm.Name != "disk" || dm.Nodes != 15 || dm.C != m.C || dm.Eps != m.Eps || dm.Clamped {
+		t.Fatalf("disk meta wrong: %+v", dm)
+	}
+	dx, err := NewDynamic(g, &DynamicOptions{NumWalks: 16}, WithEps(0.1), WithSeed(85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dx.Close()
+	ym := dx.Meta()
+	if ym.Name != "dynamic" || !ym.Clamped || ym.Epoch != 1 {
+		t.Fatalf("dynamic meta wrong: %+v", ym)
+	}
+	if err := dx.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dx.Meta().Epoch; got != 2 {
+		t.Fatalf("epoch after rebuild = %d, want 2", got)
+	}
+}
+
+// Functional options must configure the same build the legacy Options
+// struct did: same seed and knobs, bitwise-identical index.
+func TestBuildOptionEquivalence(t *testing.T) {
+	g := testGraph(30, 150, 86)
+	viaOpts, err := Build(g, WithC(0.7), WithEps(0.08), WithSeed(87), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaStruct, err := Build(g, WithOptions(Options{C: 0.7, Eps: 0.08, Seed: 87, Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := NodeID(0); i < 30; i += 2 {
+		for j := NodeID(0); j < 30; j += 3 {
+			if mustPair(t, viaOpts, i, j) != mustPair(t, viaStruct, i, j) {
+				t.Fatalf("option styles disagree at (%d,%d)", i, j)
+			}
+		}
+	}
+	if viaOpts.C() != 0.7 {
+		t.Fatalf("WithC ignored: c = %v", viaOpts.C())
 	}
 }
 
 func TestSaveOpenRoundTrip(t *testing.T) {
 	g := testGraph(30, 180, 10)
-	ix, err := Build(g, &Options{Eps: 0.06, Seed: 11})
+	ix, err := Build(g, WithEps(0.06), WithSeed(11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +364,7 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 	}
 	for i := NodeID(0); i < 30; i++ {
 		for j := NodeID(0); j < 30; j += 3 {
-			if a, b := ix.SimRank(i, j), ix2.SimRank(i, j); a != b {
+			if a, b := mustPair(t, ix, i, j), mustPair(t, ix2, i, j); a != b {
 				t.Fatalf("round trip changed s(%d,%d)", i, j)
 			}
 		}
@@ -158,7 +373,7 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 
 func TestWriteToReadIndex(t *testing.T) {
 	g := testGraph(20, 100, 12)
-	ix, err := Build(g, &Options{Eps: 0.08, Seed: 13})
+	ix, err := Build(g, WithEps(0.08), WithSeed(13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +392,7 @@ func TestWriteToReadIndex(t *testing.T) {
 
 func TestOpenDisk(t *testing.T) {
 	g := testGraph(40, 240, 14)
-	ix, err := Build(g, &Options{Eps: 0.06, Seed: 15})
+	ix, err := Build(g, WithEps(0.06), WithSeed(15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +410,7 @@ func TestOpenDisk(t *testing.T) {
 	}
 	for i := NodeID(0); i < 40; i += 3 {
 		for j := NodeID(0); j < 40; j += 5 {
-			got, err := di.SimRank(i, j)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if want := ix.SimRank(i, j); got != want {
+			if got, want := mustPair(t, di, i, j), mustPair(t, ix, i, j); got != want {
 				t.Fatalf("disk s(%d,%d)=%v, memory %v", i, j, got, want)
 			}
 		}
@@ -222,7 +433,7 @@ func TestLoadEdgeList(t *testing.T) {
 
 func TestBuildWithStats(t *testing.T) {
 	g := testGraph(30, 180, 16)
-	_, st, err := BuildWithStats(g, &Options{Eps: 0.06, Seed: 17})
+	_, st, err := BuildWithStats(g, WithEps(0.06), WithSeed(17))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,17 +444,17 @@ func TestBuildWithStats(t *testing.T) {
 
 func TestBuildOutOfCoreFacade(t *testing.T) {
 	g := testGraph(30, 180, 18)
-	mem, err := Build(g, &Options{Eps: 0.06, Seed: 19})
+	mem, err := Build(g, WithEps(0.06), WithSeed(19))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ooc, err := BuildOutOfCore(g, &Options{Eps: 0.06, Seed: 19}, t.TempDir(), 1<<20)
+	ooc, err := BuildOutOfCore(g, t.TempDir(), 1<<20, WithEps(0.06), WithSeed(19))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := NodeID(0); i < 30; i += 2 {
 		for j := NodeID(0); j < 30; j += 3 {
-			if mem.SimRank(i, j) != ooc.SimRank(i, j) {
+			if mustPair(t, mem, i, j) != mustPair(t, ooc, i, j) {
 				t.Fatalf("out-of-core differs at (%d,%d)", i, j)
 			}
 		}
@@ -259,7 +470,7 @@ func TestFromEdges(t *testing.T) {
 
 func TestDiskIndexSingleSourceFacade(t *testing.T) {
 	g := testGraph(40, 240, 20)
-	ix, err := Build(g, &Options{Eps: 0.06, Seed: 21})
+	ix, err := Build(g, WithEps(0.06), WithSeed(21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,11 +483,8 @@ func TestDiskIndexSingleSourceFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer di.Close()
-	want := ix.SingleSource(9, nil)
-	got, err := di.SingleSource(9, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	want := mustSource(t, ix, 9)
+	got := mustSource(t, di, 9)
 	for v := range want {
 		if got[v] != want[v] {
 			t.Fatalf("disk single-source differs at %d", v)
@@ -286,7 +494,7 @@ func TestDiskIndexSingleSourceFacade(t *testing.T) {
 
 func TestSimilarPairsFacade(t *testing.T) {
 	g := testGraph(40, 200, 22)
-	ix, err := Build(g, &Options{Eps: 0.08, Seed: 23})
+	ix, err := Build(g, WithEps(0.08), WithSeed(23))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +503,7 @@ func TestSimilarPairsFacade(t *testing.T) {
 		if p.Score < 0.2 || p.U >= p.V {
 			t.Fatalf("bad pair %+v", p)
 		}
-		if want := ix.SimRank(p.U, p.V); want != p.Score {
+		if want := mustPair(t, ix, p.U, p.V); want != p.Score {
 			t.Fatalf("join score %v disagrees with SimRank %v", p.Score, want)
 		}
 		if i > 0 && pairs[i-1].Score < p.Score {
@@ -307,17 +515,17 @@ func TestSimilarPairsFacade(t *testing.T) {
 func TestSingleSourceBatchMatchesSerialFacade(t *testing.T) {
 	g := testGraph(60, 300, 21)
 	// Workers > 1 so the facade batch actually fans out.
-	ix, err := Build(g, &Options{Eps: 0.08, Seed: 21, Workers: 4})
+	ix, err := Build(g, WithEps(0.08), WithSeed(21), WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	us := []NodeID{0, 5, 5, 17, 59, 3}
-	batch := ix.SingleSourceBatch(us)
+	batch := mustBatch(t, ix, us)
 	if len(batch) != len(us) {
 		t.Fatalf("got %d rows", len(batch))
 	}
 	for i, u := range us {
-		want := ix.SingleSource(u, nil)
+		want := mustSource(t, ix, u)
 		for v := range want {
 			if batch[i][v] != want[v] {
 				t.Fatalf("row %d (u=%d) node %d: %v != %v", i, u, v, batch[i][v], want[v])
@@ -326,14 +534,30 @@ func TestSingleSourceBatchMatchesSerialFacade(t *testing.T) {
 	}
 }
 
-func TestSourceTopSemantics(t *testing.T) {
-	g := testGraph(50, 250, 23)
-	ix, err := Build(g, &Options{Eps: 0.08, Seed: 23})
+// Cancelling mid-batch must stop the fan-out: a cancelled context makes
+// the batch return ctx.Err() rather than burning through all sources.
+func TestSingleSourceBatchCancellation(t *testing.T) {
+	g := testGraph(40, 200, 25)
+	ix, err := Build(g, WithEps(0.1), WithSeed(25), WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	scores := ix.SingleSource(8, nil)
-	top := ix.SourceTop(8, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	us := make([]NodeID, 64)
+	if _, err := ix.SingleSourceBatch(ctx, us); !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSourceTopSemantics(t *testing.T) {
+	g := testGraph(50, 250, 23)
+	ix, err := Build(g, WithEps(0.08), WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := mustSource(t, ix, 8)
+	top := mustSourceTop(t, ix, 8, 5)
 	if len(top) == 0 || len(top) > 5 {
 		t.Fatalf("SourceTop returned %d results", len(top))
 	}
@@ -368,14 +592,14 @@ func TestSourceTopSemantics(t *testing.T) {
 
 func TestFacadeParallelMatchesSerial(t *testing.T) {
 	g := testGraph(60, 300, 25)
-	ix, err := Build(g, &Options{Eps: 0.08, Seed: 25, Workers: 3})
+	ix, err := Build(g, WithEps(0.08), WithSeed(25), WithWorkers(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	us := []NodeID{1, 2, 3, 4, 5, 6, 7, 8}
-	wantBatch := ix.SingleSourceBatch(us)
-	wantPair := ix.SimRank(3, 9)
-	wantTop := ix.TopK(2, 6)
+	wantBatch := mustBatch(t, ix, us)
+	wantPair := mustPair(t, ix, 3, 9)
+	wantTop := mustTopK(t, ix, 2, 6)
 	var wg sync.WaitGroup
 	errs := make(chan string, 32)
 	for w := 0; w < 6; w++ {
@@ -383,12 +607,12 @@ func TestFacadeParallelMatchesSerial(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 15; i++ {
-				if ix.SimRank(3, 9) != wantPair {
+				if got, err := ix.SimRank(bg, 3, 9); err != nil || got != wantPair {
 					errs <- "SimRank drift under concurrency"
 					return
 				}
-				top := ix.TopK(2, 6)
-				if len(top) != len(wantTop) {
+				top, err := ix.TopK(bg, 2, 6)
+				if err != nil || len(top) != len(wantTop) {
 					errs <- "TopK length drift under concurrency"
 					return
 				}
@@ -398,7 +622,11 @@ func TestFacadeParallelMatchesSerial(t *testing.T) {
 						return
 					}
 				}
-				batch := ix.SingleSourceBatch(us)
+				batch, err := ix.SingleSourceBatch(bg, us)
+				if err != nil {
+					errs <- "batch error under concurrency"
+					return
+				}
 				for r := range batch {
 					for v := range batch[r] {
 						if batch[r][v] != wantBatch[r][v] {
@@ -421,7 +649,7 @@ func TestFacadeParallelMatchesSerial(t *testing.T) {
 // with the given options.
 func diskTestIndex(t *testing.T, g *Graph, seed uint64, o *DiskOptions) (*Index, *DiskIndex) {
 	t.Helper()
-	ix, err := Build(g, &Options{Eps: 0.06, Seed: seed})
+	ix, err := Build(g, WithEps(0.06), WithSeed(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,12 +672,12 @@ func diskTestIndex(t *testing.T, g *Graph, seed uint64, o *DiskOptions) (*Index,
 func TestDiskIndexConcurrentMixedQueries(t *testing.T) {
 	g := testGraph(60, 360, 26)
 	ix, di := diskTestIndex(t, g, 27, &DiskOptions{CacheBytes: 1 << 20, Workers: 4})
-	wantPair := ix.SimRank(4, 11)
-	wantVec := ix.SingleSource(9, nil)
-	wantTop := ix.TopK(3, 6)
-	wantSrc := ix.SourceTop(8, 5)
+	wantPair := mustPair(t, ix, 4, 11)
+	wantVec := mustSource(t, ix, 9)
+	wantTop := mustTopK(t, ix, 3, 6)
+	wantSrc := mustSourceTop(t, ix, 8, 5)
 	us := []NodeID{2, 7, 1, 8, 2, 8}
-	wantBatch := ix.SingleSourceBatch(us)
+	wantBatch := mustBatch(t, ix, us)
 	var wg sync.WaitGroup
 	errs := make(chan string, 32)
 	for w := 0; w < 8; w++ {
@@ -457,11 +685,11 @@ func TestDiskIndexConcurrentMixedQueries(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				if got, err := di.SimRank(4, 11); err != nil || got != wantPair {
+				if got, err := di.SimRank(bg, 4, 11); err != nil || got != wantPair {
 					errs <- "disk SimRank drift"
 					return
 				}
-				vec, err := di.SingleSource(9, nil)
+				vec, err := di.SingleSource(bg, 9, nil)
 				if err != nil {
 					errs <- err.Error()
 					return
@@ -472,7 +700,7 @@ func TestDiskIndexConcurrentMixedQueries(t *testing.T) {
 						return
 					}
 				}
-				top, err := di.TopK(3, 6)
+				top, err := di.TopK(bg, 3, 6)
 				if err != nil || len(top) != len(wantTop) {
 					errs <- "disk TopK drift"
 					return
@@ -483,7 +711,7 @@ func TestDiskIndexConcurrentMixedQueries(t *testing.T) {
 						return
 					}
 				}
-				src, err := di.SourceTop(8, 5)
+				src, err := di.SourceTop(bg, 8, 5)
 				if err != nil || len(src) != len(wantSrc) {
 					errs <- "disk SourceTop drift"
 					return
@@ -494,7 +722,7 @@ func TestDiskIndexConcurrentMixedQueries(t *testing.T) {
 						return
 					}
 				}
-				batch, err := di.SingleSourceBatch(us)
+				batch, err := di.SingleSourceBatch(bg, us)
 				if err != nil {
 					errs <- err.Error()
 					return
@@ -529,15 +757,9 @@ func TestOpenDiskCachedEquivalence(t *testing.T) {
 	for pass := 0; pass < 2; pass++ {
 		for i := NodeID(0); i < 40; i += 3 {
 			for j := NodeID(0); j < 40; j += 5 {
-				want := ix.SimRank(i, j)
-				a, err := plain.SimRank(i, j)
-				if err != nil {
-					t.Fatal(err)
-				}
-				b, err := cached.SimRank(i, j)
-				if err != nil {
-					t.Fatal(err)
-				}
+				want := mustPair(t, ix, i, j)
+				a := mustPair(t, plain, i, j)
+				b := mustPair(t, cached, i, j)
 				if a != want || b != want {
 					t.Fatalf("s(%d,%d): plain %v cached %v memory %v", i, j, a, b, want)
 				}
@@ -557,11 +779,8 @@ func TestDiskIndexTopKAndBatchFacade(t *testing.T) {
 	g := testGraph(50, 300, 30)
 	ix, di := diskTestIndex(t, g, 31, &DiskOptions{Workers: 3})
 	for u := NodeID(0); u < 50; u += 11 {
-		gotTop, err := di.TopK(u, 6)
-		if err != nil {
-			t.Fatal(err)
-		}
-		wantTop := ix.TopK(u, 6)
+		gotTop := mustTopK(t, di, u, 6)
+		wantTop := mustTopK(t, ix, u, 6)
 		if len(gotTop) != len(wantTop) {
 			t.Fatalf("TopK(%d) length %d vs %d", u, len(gotTop), len(wantTop))
 		}
@@ -570,11 +789,8 @@ func TestDiskIndexTopKAndBatchFacade(t *testing.T) {
 				t.Fatalf("TopK(%d) entry %d mismatch", u, i)
 			}
 		}
-		gotSrc, err := di.SourceTop(u, 4)
-		if err != nil {
-			t.Fatal(err)
-		}
-		wantSrc := ix.SourceTop(u, 4)
+		gotSrc := mustSourceTop(t, di, u, 4)
+		wantSrc := mustSourceTop(t, ix, u, 4)
 		if len(gotSrc) != len(wantSrc) {
 			t.Fatalf("SourceTop(%d) length %d vs %d", u, len(gotSrc), len(wantSrc))
 		}
@@ -585,11 +801,8 @@ func TestDiskIndexTopKAndBatchFacade(t *testing.T) {
 		}
 	}
 	us := []NodeID{0, 13, 26, 39, 49, 13}
-	got, err := di.SingleSourceBatch(us)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := ix.SingleSourceBatch(us)
+	got := mustBatch(t, di, us)
+	want := mustBatch(t, ix, us)
 	for i := range us {
 		for v := range want[i] {
 			if got[i][v] != want[i][v] {
