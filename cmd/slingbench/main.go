@@ -35,7 +35,13 @@
 //	querier  every facade backend (memory, disk, dynamic) driven through
 //	         the one sling.Querier interface: pair latency, top-k
 //	         latency, and batch throughput from a single benchmark loop,
-//	         so any future backend benches for free (not a paper figure)
+//	         so any future backend benches for free (not a paper figure);
+//	         also writes BENCH_querier.json with QPS and p50/p99 from
+//	         the serving histograms
+//	catalog  the multi-tenant stack end to end: one dataset served as
+//	         memory, disk, and dynamic entries of a catalog server,
+//	         driven through the real /g/{id}/simrank HTTP routes; writes
+//	         BENCH_catalog.json (not a paper figure)
 //	all      everything above
 //
 // The default "fast" preset uses ε=0.1 so the full sweep finishes on a
@@ -66,13 +72,14 @@ import (
 	"sling/internal/humanize"
 	"sling/internal/linearize"
 	"sling/internal/mc"
+	"sling/internal/metrics"
 	"sling/internal/power"
 	"sling/internal/rng"
 	"sling/internal/workload"
 )
 
 var (
-	expFlag      = flag.String("exp", "perf", "experiment: table3|fig1|fig2|fig3|fig4|perf|fig5|fig6|fig7|acc|fig9|fig10|ablation|throughput|diskqps|dynamic|querier|all")
+	expFlag      = flag.String("exp", "perf", "experiment: table3|fig1|fig2|fig3|fig4|perf|fig5|fig6|fig7|acc|fig9|fig10|ablation|throughput|diskqps|dynamic|querier|catalog|all")
 	datasetsFlag = flag.String("datasets", "", "comma-separated dataset names (default: per-experiment)")
 	scaleFlag    = flag.Float64("scale", 1, "dataset scale factor")
 	presetFlag   = flag.String("preset", "fast", "parameter preset: fast (eps=0.1) or paper (eps=0.025)")
@@ -145,6 +152,10 @@ func run() error {
 			if err := runQuerier(); err != nil {
 				return err
 			}
+		case "catalog":
+			if err := runCatalog(); err != nil {
+				return err
+			}
 		case "all":
 			runTable3()
 			if err := runPerf(); err != nil {
@@ -172,6 +183,9 @@ func run() error {
 				return err
 			}
 			if err := runQuerier(); err != nil {
+				return err
+			}
+			if err := runCatalog(); err != nil {
 				return err
 			}
 		default:
@@ -1112,6 +1126,7 @@ func runQuerier() error {
 	w := newTab()
 	fmt.Fprintln(w, "dataset\tbackend\tpair\ttop-10\tbatch sources/s")
 	ctx := context.Background()
+	var rows []querierRow
 	for _, spec := range specs {
 		g := spec.Generate(*scaleFlag)
 		ix, err := sling.Build(g, sling.WithOptions(slingOpt))
@@ -1153,23 +1168,40 @@ func runQuerier() error {
 		var benchErr error
 		for _, be := range backends {
 			q := be.q
-			pairT, _ := timeBox(len(pairs), *budgetFlag, func(i int) {
+			// Per-op latencies go through the same fixed-bucket histograms
+			// the server's /metrics exposes, so the JSON artifact's
+			// quantiles match what operators would scrape.
+			reg := metrics.NewRegistry()
+			pairH := reg.Histogram("pair_seconds", "single-pair latency", metrics.LatencyBuckets)
+			topH := reg.Histogram("topk_seconds", "top-k latency", metrics.LatencyBuckets)
+			pairWall, _ := timeBox(len(pairs), *budgetFlag, func(i int) {
+				t0 := time.Now()
 				if _, err := q.SimRank(ctx, pairs[i].U, pairs[i].V); err != nil && benchErr == nil {
 					benchErr = err
 				}
+				pairH.ObserveSince(t0)
 			})
-			topT, _ := timeBox(len(sources), *budgetFlag, func(i int) {
+			topWall, _ := timeBox(len(sources), *budgetFlag, func(i int) {
+				t0 := time.Now()
 				if _, err := q.TopK(ctx, sources[i], 10); err != nil && benchErr == nil {
 					benchErr = err
 				}
+				topH.ObserveSince(t0)
 			})
 			start := time.Now()
 			if _, err := q.SingleSourceBatch(ctx, sources); err != nil && benchErr == nil {
 				benchErr = err
 			}
 			batchQPS := float64(len(sources)) / time.Since(start).Seconds()
+			rows = append(rows, querierRow{
+				Dataset:     spec.Name,
+				Backend:     be.name,
+				Pair:        histStats(pairH, pairWall*time.Duration(pairH.Count())),
+				TopK:        histStats(topH, topWall*time.Duration(topH.Count())),
+				BatchPerSec: batchQPS,
+			})
 			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.0f\n",
-				spec.Name, be.name, fmtDur(pairT), fmtDur(topT), batchQPS)
+				spec.Name, be.name, fmtDur(pairWall), fmtDur(topWall), batchQPS)
 			w.Flush()
 		}
 		dx.Close()
@@ -1180,7 +1212,7 @@ func runQuerier() error {
 		}
 	}
 	fmt.Println()
-	return nil
+	return writeBenchJSON("BENCH_querier.json", rows, "querier")
 }
 
 // diskPairRun fires count single-pair disk queries across workers

@@ -5,6 +5,7 @@
 //	slingserver -graph g.txt [-undirected] [-index idx.sling] [-eps 0.025] [-addr :8080] [-batch-workers N]
 //	slingserver -graph g.txt -index idx.sling -disk [-cache-bytes N]
 //	slingserver -graph g.txt -dynamic [-rebuild-threshold N] [-dyn-walks N] [-dyn-depth N]
+//	slingserver -catalog manifest.json [-addr :8080]
 //
 // With -disk the index file stays on disk (Section 5.4): only O(n)
 // metadata is memory-resident, queries fetch HP entries with concurrent
@@ -19,11 +20,20 @@
 // swapping epochs with zero query downtime. Dynamic mode always builds
 // at startup.
 //
+// With -catalog the server is multi-tenant: the JSON manifest declares
+// many graphs (each memory, disk, or dynamic), lazily opened on first
+// request, LRU-evicted under the manifest's global memory budget, and
+// rate-limited by per-graph quotas (429 + Retry-After). Queries route by
+// graph ID — GET /g/{id}/simrank and friends — while the un-prefixed
+// legacy paths alias the manifest's default graph; GET /graphs lists the
+// catalog.
+//
 // Endpoints (JSON): GET /simrank?u=&v=  /source?u=[&limit=]  /topk?u=&k=
 // /stats  /healthz, plus POST /batch accepting a JSON array of
 // simrank/source/topk operations executed concurrently on a worker pool
 // bounded by -batch-workers. Node parameters use the edge list's original
-// labels.
+// labels. GET /metrics serves every mode's instruments in Prometheus
+// text exposition format.
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 	"time"
 
 	"sling"
+	"sling/internal/catalog"
 	"sling/internal/humanize"
 	"sling/internal/server"
 )
@@ -55,8 +66,32 @@ func main() {
 	rebuildThreshold := flag.Int("rebuild-threshold", 0, "applied update ops that trigger a background rebuild (0 = manual)")
 	dynWalks := flag.Int("dyn-walks", 4096, "MC walks per affected-node estimate in -dynamic mode (0 = derive the guaranteed count)")
 	dynDepth := flag.Int("dyn-depth", 0, "walk truncation depth in -dynamic mode (0 = derive from eps)")
+	catalogPath := flag.String("catalog", "", "graph-catalog manifest (JSON); serves many graphs, routing by /g/{id}/")
 	flag.Parse()
 
+	if *catalogPath != "" {
+		if *graphPath != "" || *disk || *dynamic || *indexPath != "" {
+			fmt.Fprintln(os.Stderr, "slingserver: -catalog carries its own per-graph configuration and is incompatible with -graph/-index/-disk/-dynamic")
+			flag.Usage()
+			os.Exit(2)
+		}
+		cat, err := catalog.Load(*catalogPath, nil)
+		if err != nil {
+			log.Fatalf("loading catalog: %v", err)
+		}
+		defer cat.Close()
+		handler, err := server.NewCatalog(cat, server.Config{
+			BatchWorkers: *batchWorkers,
+			MaxBatchOps:  *maxBatchOps,
+		})
+		if err != nil {
+			log.Fatalf("creating server: %v", err)
+		}
+		ids := cat.IDs()
+		log.Printf("catalog %s: %d graphs %v, default %q", *catalogPath, len(ids), ids, cat.DefaultID())
+		serve(*addr, handler)
+		return
+	}
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "slingserver: -graph is required")
 		flag.Usage()
@@ -147,13 +182,17 @@ func main() {
 		}
 	}
 
+	serve(*addr, handler)
+}
+
+func serve(addr string, handler http.Handler) {
 	srv := &http.Server{
-		Addr:         *addr,
+		Addr:         addr,
 		Handler:      handler,
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}
-	log.Printf("serving on %s", *addr)
+	log.Printf("serving on %s", addr)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}

@@ -161,6 +161,7 @@ func (e *HTTPError) Unwrap() error { return e.Err }
 type httpBackend struct {
 	name    string
 	h       http.Handler
+	prefix  string // route prefix, e.g. "/g/wiki" for catalog servers
 	n       int
 	clamped bool
 }
@@ -169,6 +170,13 @@ type httpBackend struct {
 // over a graph of n nodes (dense IDs; no label mapping).
 func NewHTTPBackend(name string, h http.Handler, n int, clamped bool) Backend {
 	return &httpBackend{name: name, h: h, n: n, clamped: clamped}
+}
+
+// NewHTTPBackendAt is NewHTTPBackend under a route prefix — the adapter
+// for one graph of a catalog server, e.g. prefix "/g/wiki" drives
+// /g/wiki/simrank, /g/wiki/batch, /g/wiki/stats.
+func NewHTTPBackendAt(name string, h http.Handler, prefix string, n int, clamped bool) Backend {
+	return &httpBackend{name: name, h: h, prefix: strings.TrimSuffix(prefix, "/"), n: n, clamped: clamped}
 }
 
 func (b *httpBackend) Name() string { return b.name }
@@ -189,8 +197,9 @@ func (b *httpBackend) Meta() sling.QuerierMeta {
 	return m
 }
 
-// do issues one in-process request. A pre-cancelled ctx returns before
-// any handler work, matching the Querier contract.
+// do issues one in-process request against prefix+target. A
+// pre-cancelled ctx returns before any handler work, matching the
+// Querier contract.
 func (b *httpBackend) do(ctx context.Context, method, target, body string, out interface{}) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -198,6 +207,7 @@ func (b *httpBackend) do(ctx context.Context, method, target, body string, out i
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	target = b.prefix + target
 	var req *http.Request
 	if body == "" {
 		req = httptest.NewRequest(method, target, nil)

@@ -2,99 +2,210 @@ package server
 
 import (
 	"sling"
+	"sling/internal/metrics"
 )
 
-// Per-mode /stats providers. Query routing needs no per-backend code at
-// all anymore — every handler talks sling.Querier — so what used to be a
-// three-way backend adapter here is now only the observability surface:
-// each constructor supplies the stats closure matching its concrete
-// index, and unknown backends fall back to the QuerierMeta-derived
-// document. The Server injects the shared canceled_ops counter on top.
+// Per-mode /stats documents. Query routing needs no per-backend code at
+// all — every handler talks sling.Querier — so the only backend-aware
+// surface left is observability: /stats serves a typed view selected by
+// the backend's concrete type (the JSON field sets are golden-schema
+// pinned in stats_schema_test.go), and registerBackendGauges bridges
+// each backend's internal counters — the disk index's entry cache, the
+// dynamic index's epoch/staleness/rebuild state — into the metrics
+// registry so GET /metrics exposes them alongside the HTTP instruments.
 
-// memStats reports the fully in-memory index.
-func memStats(ix *sling.Index) func() map[string]interface{} {
-	return func() map[string]interface{} {
-		st := ix.Stats()
-		g := ix.Graph()
-		return map[string]interface{}{
-			"mode":         "memory",
-			"nodes":        g.NumNodes(),
-			"edges":        g.NumEdges(),
-			"entries":      st.Entries,
-			"avg_entries":  st.AvgEntries,
-			"max_entries":  st.MaxEntries,
-			"index_bytes":  st.Bytes,
-			"graph_bytes":  g.Bytes(),
-			"error_bound":  ix.ErrorBound(),
-			"decay_factor": ix.C(),
-		}
-	}
+// memoryStatsView is the /stats document of an in-memory index.
+type memoryStatsView struct {
+	Mode        string  `json:"mode"`
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+	Entries     int     `json:"entries"`
+	AvgEntries  float64 `json:"avg_entries"`
+	MaxEntries  int     `json:"max_entries"`
+	IndexBytes  int64   `json:"index_bytes"`
+	GraphBytes  int64   `json:"graph_bytes"`
+	ErrorBound  float64 `json:"error_bound"`
+	DecayFactor float64 `json:"decay_factor"`
+	CanceledOps uint64  `json:"canceled_ops"`
 }
 
-// dynStats reports the updatable index: epoch, staleness frontier, and
-// rebuild state on top of the shared fields.
-func dynStats(dx *sling.DynamicIndex) func() map[string]interface{} {
-	return func() map[string]interface{} {
-		st := dx.Stats()
-		return map[string]interface{}{
-			"mode":              "dynamic",
-			"nodes":             st.Nodes,
-			"edges":             st.Edges,
-			"epoch":             st.Epoch,
-			"affected_nodes":    st.AffectedNodes,
-			"stale_ops":         st.StaleOps,
-			"total_ops":         st.TotalOps,
-			"rebuilds":          st.Rebuilds,
-			"rebuild_running":   st.RebuildRunning,
-			"rebuild_threshold": st.RebuildThreshold,
-			"epochs_drained":    st.EpochsDrained,
-			"mc_walks":          st.NumWalks,
-			"mc_depth":          st.Depth,
-			"index_bytes":       st.IndexBytes,
-			"error_bound":       st.ErrorBound,
-			"decay_factor":      dx.C(),
-		}
-	}
+// cacheStatsView nests the disk index's entry-cache counters.
+type cacheStatsView struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
 }
 
-// diskStats reports the disk-resident index (resident metadata plus
-// entry-cache counters).
-func diskStats(di *sling.DiskIndex) func() map[string]interface{} {
-	return func() map[string]interface{} {
-		g := di.Graph()
-		cs := di.CacheStats()
-		return map[string]interface{}{
-			"mode":           "disk",
-			"nodes":          g.NumNodes(),
-			"edges":          g.NumEdges(),
-			"entries":        di.NumEntries(),
-			"resident_bytes": di.Bytes(),
-			"graph_bytes":    g.Bytes(),
-			"error_bound":    di.ErrorBound(),
-			"decay_factor":   di.C(),
-			"cache": map[string]interface{}{
-				"hits":      cs.Hits,
-				"misses":    cs.Misses,
-				"entries":   cs.Entries,
-				"bytes":     cs.Bytes,
-				"max_bytes": cs.MaxBytes,
+// diskStatsView is the /stats document of a disk-resident index.
+type diskStatsView struct {
+	Mode          string         `json:"mode"`
+	Nodes         int            `json:"nodes"`
+	Edges         int            `json:"edges"`
+	Entries       int64          `json:"entries"`
+	ResidentBytes int64          `json:"resident_bytes"`
+	GraphBytes    int64          `json:"graph_bytes"`
+	ErrorBound    float64        `json:"error_bound"`
+	DecayFactor   float64        `json:"decay_factor"`
+	Cache         cacheStatsView `json:"cache"`
+	CanceledOps   uint64         `json:"canceled_ops"`
+}
+
+// dynamicStatsView is the /stats document of an updatable index.
+type dynamicStatsView struct {
+	Mode             string  `json:"mode"`
+	Nodes            int     `json:"nodes"`
+	Edges            int     `json:"edges"`
+	Epoch            uint64  `json:"epoch"`
+	AffectedNodes    int     `json:"affected_nodes"`
+	StaleOps         int     `json:"stale_ops"`
+	TotalOps         uint64  `json:"total_ops"`
+	Rebuilds         uint64  `json:"rebuilds"`
+	RebuildRunning   bool    `json:"rebuild_running"`
+	RebuildThreshold int     `json:"rebuild_threshold"`
+	EpochsDrained    uint64  `json:"epochs_drained"`
+	MCWalks          int     `json:"mc_walks"`
+	MCDepth          int     `json:"mc_depth"`
+	IndexBytes       int64   `json:"index_bytes"`
+	ErrorBound       float64 `json:"error_bound"`
+	DecayFactor      float64 `json:"decay_factor"`
+	CanceledOps      uint64  `json:"canceled_ops"`
+}
+
+// querierStatsView is the mode-agnostic fallback for NewQuerier
+// backends: everything QuerierMeta can say about the backend.
+type querierStatsView struct {
+	Mode        string  `json:"mode"`
+	Nodes       int     `json:"nodes"`
+	ErrorBound  float64 `json:"error_bound"`
+	DecayFactor float64 `json:"decay_factor"`
+	Clamped     bool    `json:"clamped"`
+	Epoch       uint64  `json:"epoch"`
+	CanceledOps uint64  `json:"canceled_ops"`
+}
+
+// statsView builds the typed /stats document for a backend, dispatching
+// on its concrete type.
+func statsView(q sling.Querier, canceled uint64) interface{} {
+	switch b := q.(type) {
+	case *sling.Index:
+		st := b.Stats()
+		g := b.Graph()
+		return memoryStatsView{
+			Mode:        "memory",
+			Nodes:       g.NumNodes(),
+			Edges:       g.NumEdges(),
+			Entries:     st.Entries,
+			AvgEntries:  st.AvgEntries,
+			MaxEntries:  st.MaxEntries,
+			IndexBytes:  st.Bytes,
+			GraphBytes:  g.Bytes(),
+			ErrorBound:  b.ErrorBound(),
+			DecayFactor: b.C(),
+			CanceledOps: canceled,
+		}
+	case *sling.DiskIndex:
+		g := b.Graph()
+		cs := b.CacheStats()
+		return diskStatsView{
+			Mode:          "disk",
+			Nodes:         g.NumNodes(),
+			Edges:         g.NumEdges(),
+			Entries:       b.NumEntries(),
+			ResidentBytes: b.Bytes(),
+			GraphBytes:    g.Bytes(),
+			ErrorBound:    b.ErrorBound(),
+			DecayFactor:   b.C(),
+			Cache: cacheStatsView{
+				Hits:     cs.Hits,
+				Misses:   cs.Misses,
+				Entries:  cs.Entries,
+				Bytes:    cs.Bytes,
+				MaxBytes: cs.MaxBytes,
 			},
+			CanceledOps: canceled,
+		}
+	case *sling.DynamicIndex:
+		st := b.Stats()
+		return dynamicStatsView{
+			Mode:             "dynamic",
+			Nodes:            st.Nodes,
+			Edges:            st.Edges,
+			Epoch:            st.Epoch,
+			AffectedNodes:    st.AffectedNodes,
+			StaleOps:         st.StaleOps,
+			TotalOps:         st.TotalOps,
+			Rebuilds:         st.Rebuilds,
+			RebuildRunning:   st.RebuildRunning,
+			RebuildThreshold: st.RebuildThreshold,
+			EpochsDrained:    st.EpochsDrained,
+			MCWalks:          st.NumWalks,
+			MCDepth:          st.Depth,
+			IndexBytes:       st.IndexBytes,
+			ErrorBound:       st.ErrorBound,
+			DecayFactor:      b.C(),
+			CanceledOps:      canceled,
+		}
+	default:
+		m := q.Meta()
+		return querierStatsView{
+			Mode:        m.Name,
+			Nodes:       m.Nodes,
+			ErrorBound:  m.Eps,
+			DecayFactor: m.C,
+			Clamped:     m.Clamped,
+			Epoch:       m.Epoch,
+			CanceledOps: canceled,
 		}
 	}
 }
 
-// querierStats is the mode-agnostic fallback for NewQuerier backends:
-// everything QuerierMeta can say about the backend.
-func querierStats(q sling.Querier) func() map[string]interface{} {
-	return func() map[string]interface{} {
-		m := q.Meta()
-		return map[string]interface{}{
-			"mode":         m.Name,
-			"nodes":        m.Nodes,
-			"error_bound":  m.Eps,
-			"decay_factor": m.C,
-			"clamped":      m.Clamped,
-			"epoch":        m.Epoch,
-		}
+// Backend instrument names, shared with the exposition golden test.
+const (
+	MetricIndexBytes          = "sling_index_bytes"
+	MetricIndexEntries        = "sling_index_entries"
+	MetricDiskCacheHits       = "sling_disk_cache_hits"
+	MetricDiskCacheMisses     = "sling_disk_cache_misses"
+	MetricDiskCacheBytes      = "sling_disk_cache_bytes"
+	MetricDynamicEpoch        = "sling_dynamic_epoch"
+	MetricDynamicStaleOps     = "sling_dynamic_stale_ops"
+	MetricDynamicRebuilds     = "sling_dynamic_rebuilds"
+	MetricDynamicAffected     = "sling_dynamic_affected_nodes"
+	MetricDynamicRebuildBusy  = "sling_dynamic_rebuild_running"
+	MetricDynamicEpochsFreed  = "sling_dynamic_epochs_drained"
+	MetricDynamicTotalOps     = "sling_dynamic_total_ops"
+	MetricDiskCacheMaxBytes   = "sling_disk_cache_max_bytes"
+	MetricDiskCacheEntryCount = "sling_disk_cache_entries"
+)
+
+// registerBackendGauges bridges a single-graph backend's internal
+// counters into the registry as collect-on-scrape gauges, so the same
+// numbers /stats reports are scrapeable from GET /metrics without a
+// second bookkeeping path.
+func registerBackendGauges(reg *metrics.Registry, q sling.Querier) {
+	switch b := q.(type) {
+	case *sling.Index:
+		reg.GaugeFunc(MetricIndexBytes, "resident index bytes", func() float64 { return float64(b.Bytes()) })
+		reg.GaugeFunc(MetricIndexEntries, "stored HP entries", func() float64 { return float64(b.Stats().Entries) })
+	case *sling.DiskIndex:
+		reg.GaugeFunc(MetricDiskCacheHits, "disk entry-cache hits", func() float64 { return float64(b.CacheStats().Hits) })
+		reg.GaugeFunc(MetricDiskCacheMisses, "disk entry-cache misses", func() float64 { return float64(b.CacheStats().Misses) })
+		reg.GaugeFunc(MetricDiskCacheEntryCount, "disk entry-cache entries", func() float64 { return float64(b.CacheStats().Entries) })
+		reg.GaugeFunc(MetricDiskCacheBytes, "disk entry-cache occupancy", func() float64 { return float64(b.CacheStats().Bytes) })
+		reg.GaugeFunc(MetricDiskCacheMaxBytes, "disk entry-cache capacity", func() float64 { return float64(b.CacheStats().MaxBytes) })
+	case *sling.DynamicIndex:
+		reg.GaugeFunc(MetricDynamicEpoch, "serving index generation", func() float64 { return float64(b.Stats().Epoch) })
+		reg.GaugeFunc(MetricDynamicStaleOps, "applied ops not yet rebuilt", func() float64 { return float64(b.Stats().StaleOps) })
+		reg.GaugeFunc(MetricDynamicTotalOps, "lifetime applied ops", func() float64 { return float64(b.Stats().TotalOps) })
+		reg.GaugeFunc(MetricDynamicRebuilds, "completed epoch swaps", func() float64 { return float64(b.Stats().Rebuilds) })
+		reg.GaugeFunc(MetricDynamicAffected, "staleness-frontier size", func() float64 { return float64(b.Stats().AffectedNodes) })
+		reg.GaugeFunc(MetricDynamicRebuildBusy, "1 while a rebuild runs", func() float64 {
+			if b.Stats().RebuildRunning {
+				return 1
+			}
+			return 0
+		})
+		reg.GaugeFunc(MetricDynamicEpochsFreed, "retired epochs", func() float64 { return float64(b.Stats().EpochsDrained) })
 	}
 }

@@ -29,10 +29,12 @@ import (
 // order, each either the same JSON object the corresponding GET endpoint
 // returns or {"op":...,"error":"..."}. Per-operation failures do not fail
 // the request; malformed JSON, a non-POST method, or more than
-// Config.MaxBatchOps operations do (400/405/413).
+// the op cap do (400/405/413). In catalog mode a batch of N operations
+// costs N quota tokens up front; an over-quota batch answers 429 with a
+// Retry-After header and runs nothing.
 
 // BatchOp is one operation in a POST /batch request. U and V are node
-// labels (original labels when the server has a label mapping, dense IDs
+// labels (original labels when the graph has a label mapping, dense IDs
 // otherwise); pointers distinguish "absent" from label 0.
 type BatchOp struct {
 	Op    string `json:"op"`
@@ -44,13 +46,13 @@ type BatchOp struct {
 
 // decodeOps bounds and decodes a JSON op array for handleBatch and
 // handleUpdate, keeping their guards identical by construction: the body
-// is cut off past MaxBatchOps·256+4096 bytes (256 bytes comfortably
-// covers any legitimate op, so op count bounds memory too) with a 413,
-// malformed JSON and unknown fields answer 400, and more than
-// MaxBatchOps operations answer 413. ok=false means the error response
-// was already written.
-func decodeOps[T any](s *Server, w http.ResponseWriter, r *http.Request, what string) (ops []T, ok bool) {
-	maxBytes := int64(s.cfg.MaxBatchOps)*256 + 4096
+// is cut off past maxOps·256+4096 bytes (256 bytes comfortably covers
+// any legitimate op, so op count bounds memory too) with a 413,
+// malformed JSON and unknown fields answer 400, and more than maxOps
+// operations answer 413. ok=false means the error response was already
+// written.
+func decodeOps[T any](t *tenant, w http.ResponseWriter, r *http.Request, what string) (ops []T, ok bool) {
+	maxBytes := int64(t.maxBatchOps)*256 + 4096
 	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -64,23 +66,26 @@ func decodeOps[T any](s *Server, w http.ResponseWriter, r *http.Request, what st
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad %s body: %v", what, err))
 		return nil, false
 	}
-	if len(ops) > s.cfg.MaxBatchOps {
+	if len(ops) > t.maxBatchOps {
 		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("%s of %d ops exceeds limit %d", what, len(ops), s.cfg.MaxBatchOps))
+			fmt.Sprintf("%s of %d ops exceeds limit %d", what, len(ops), t.maxBatchOps))
 		return nil, false
 	}
 	return ops, true
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	ops, ok := decodeOps[BatchOp](s, w, r, "batch")
+func (t *tenant) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ops, ok := decodeOps[BatchOp](t, w, r, "batch")
 	if !ok {
+		return
+	}
+	if !t.allow(w, len(ops)) {
 		return
 	}
 
 	ctx := r.Context()
 	results := make([]interface{}, len(ops))
-	workers := s.cfg.BatchWorkers
+	workers := t.s.cfg.BatchWorkers
 	if workers > len(ops) {
 		workers = len(ops)
 	}
@@ -89,7 +94,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if ctx.Err() != nil {
 				break
 			}
-			results[i] = s.runOp(ctx, op)
+			results[i] = t.runOp(ctx, op)
 		}
 	} else {
 		var next atomic.Int64
@@ -106,7 +111,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					if i >= len(ops) {
 						return
 					}
-					results[i] = s.runOp(ctx, ops[i])
+					results[i] = t.runOp(ctx, ops[i])
 				}
 			}()
 		}
@@ -124,7 +129,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				dropped++
 			}
 		}
-		s.canceledOps.Add(uint64(dropped))
+		t.s.canceledOps.Add(uint64(dropped))
 		if errors.Is(err, context.DeadlineExceeded) {
 			httpError(w, http.StatusGatewayTimeout,
 				fmt.Sprintf("batch deadline exceeded with %d of %d ops pending", dropped, len(ops)))
@@ -141,7 +146,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // object or an error object mirroring the single-query endpoints. ctx is
 // threaded into the Querier so a disconnected client stops the fan-out
 // inside multi-source work too.
-func (s *Server) runOp(ctx context.Context, op BatchOp) interface{} {
+func (t *tenant) runOp(ctx context.Context, op BatchOp) interface{} {
 	fail := func(err error) interface{} {
 		entry := map[string]interface{}{"op": op.Op, "error": err.Error()}
 		if errors.Is(err, sling.ErrNodeRange) {
@@ -149,22 +154,22 @@ func (s *Server) runOp(ctx context.Context, op BatchOp) interface{} {
 		}
 		return entry
 	}
-	u, err := s.opNode(op.U, "u")
+	u, err := t.opNode(op.U, "u")
 	if err != nil {
 		return fail(err)
 	}
 	switch op.Op {
 	case "simrank":
-		v, err := s.opNode(op.V, "v")
+		v, err := t.opNode(op.V, "v")
 		if err != nil {
 			return fail(err)
 		}
-		score, err := s.q.SimRank(ctx, u, v)
+		score, err := t.q.SimRank(ctx, u, v)
 		if err != nil {
 			return fail(err)
 		}
 		return map[string]interface{}{
-			"op": op.Op, "u": s.label(u), "v": s.label(v),
+			"op": op.Op, "u": t.label(u), "v": t.label(v),
 			"score": score,
 		}
 	case "source":
@@ -175,12 +180,12 @@ func (s *Server) runOp(ctx context.Context, op BatchOp) interface{} {
 			}
 			limit = *op.Limit
 		}
-		scores, err := s.sourceScores(ctx, u, limit)
+		scores, err := t.sourceScores(ctx, u, limit)
 		if err != nil {
 			return fail(err)
 		}
 		return map[string]interface{}{
-			"op": op.Op, "u": s.label(u),
+			"op": op.Op, "u": t.label(u),
 			"scores": scores,
 		}
 	case "topk":
@@ -192,24 +197,24 @@ func (s *Server) runOp(ctx context.Context, op BatchOp) interface{} {
 			}
 			k = *op.K
 		}
-		top, err := s.q.TopK(ctx, u, k)
+		top, err := t.q.TopK(ctx, u, k)
 		if err != nil {
 			return fail(err)
 		}
 		return map[string]interface{}{
-			"op": op.Op, "u": s.label(u),
-			"results": s.scored(top),
+			"op": op.Op, "u": t.label(u),
+			"results": t.scored(top),
 		}
 	default:
 		return fail(fmt.Errorf("unknown op %q (want simrank|source|topk)", op.Op))
 	}
 }
 
-// opNode resolves a batch node parameter through the same label/range
-// resolution Server.node applies to query strings.
-func (s *Server) opNode(raw *int64, name string) (sling.NodeID, error) {
+// opNode resolves a batch node parameter through the same label
+// resolution tenant.node applies to query strings.
+func (t *tenant) opNode(raw *int64, name string) (sling.NodeID, error) {
 	if raw == nil {
 		return 0, fmt.Errorf("missing node %q", name)
 	}
-	return s.denseID(*raw)
+	return t.denseID(*raw)
 }

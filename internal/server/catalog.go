@@ -1,0 +1,166 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"time"
+
+	"sling/internal/catalog"
+)
+
+// Catalog mode: one Server fronting a catalog.Catalog of graphs.
+//
+//	GET  /g/{id}/simrank, /source, /topk    per-graph queries
+//	POST /g/{id}/batch, /update, /rebuild   per-graph mutations & batches
+//	GET  /g/{id}/stats                      the graph's backend stats
+//	GET  /graphs                            the catalog listing
+//	GET  /stats                             the catalog summary
+//
+// The un-prefixed legacy paths (/simrank, /batch, ...) alias the
+// catalog's default graph, so single-graph clients keep working
+// unchanged. Every request acquires a refcounted catalog handle for the
+// routed graph — lazily opening its backend on first use — runs the
+// ordinary tenant handler against it, and releases the lease when the
+// response is written; quota rejections answer 429 with a Retry-After
+// header before any query work runs.
+
+// NewCatalog creates a Server routing by graph ID over cat. The
+// catalog's registry carries the server instruments too, so one
+// GET /metrics scrape covers HTTP, catalog, and per-graph series.
+func NewCatalog(cat *catalog.Catalog, cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = cat.Registry()
+	}
+	cfg.fillDefaults()
+	s := &Server{cat: cat, cfg: cfg, reg: cfg.Registry}
+	s.instruments()
+
+	s.mux = http.NewServeMux()
+	type route struct {
+		path string
+		post bool
+		h    func(*tenant, http.ResponseWriter, *http.Request)
+	}
+	routes := []route{
+		{"simrank", false, (*tenant).handleSimRank},
+		{"source", false, (*tenant).handleSource},
+		{"topk", false, (*tenant).handleTopK},
+		{"batch", true, (*tenant).handleBatch},
+		{"update", true, (*tenant).handleUpdate},
+		{"rebuild", true, (*tenant).handleRebuild},
+		{"stats", false, (*tenant).handleStats},
+	}
+	for _, rt := range routes {
+		wrap := s.getOnly
+		if rt.post {
+			wrap = s.postOnly
+		}
+		s.mux.HandleFunc("/g/{id}/"+rt.path, wrap(s.forGraph(rt.h, true)))
+		if rt.path != "stats" {
+			// Legacy alias onto the default graph. /stats stays the
+			// catalog summary; the default graph's backend stats live at
+			// /g/{default}/stats.
+			s.mux.HandleFunc("/"+rt.path, wrap(s.forGraph(rt.h, false)))
+		}
+	}
+	s.mux.HandleFunc("/graphs", s.getOnly(s.handleGraphs))
+	s.mux.HandleFunc("/stats", s.getOnly(s.handleCatalogStats))
+	s.commonRoutes()
+	return s, nil
+}
+
+// forGraph routes a tenant handler through the catalog: resolve the
+// graph ID (the {id} path value, or the catalog default on legacy
+// paths), lease a handle, run the handler, record the graph's latency,
+// release.
+func (s *Server) forGraph(h func(*tenant, http.ResponseWriter, *http.Request), fromPath bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.cat.DefaultID()
+		if fromPath {
+			id = r.PathValue("id")
+		}
+		hd, err := s.cat.Acquire(r.Context(), id)
+		if err != nil {
+			s.acquireError(w, r, err)
+			return
+		}
+		defer hd.Release()
+		maxOps := hd.MaxBatchOps()
+		if maxOps <= 0 || maxOps > s.cfg.MaxBatchOps {
+			maxOps = s.cfg.MaxBatchOps
+		}
+		t := &tenant{
+			s:           s,
+			q:           hd.Querier(),
+			dyn:         hd.Dynamic(),
+			labels:      hd.Labels(),
+			byLbl:       hd.LabelMap(),
+			h:           hd,
+			maxBatchOps: maxOps,
+		}
+		start := time.Now()
+		h(t, w, r)
+		hd.ObserveLatency(start)
+	}
+}
+
+// acquireError maps a catalog acquisition failure: unknown IDs answer
+// 404, a client that vanished while waiting on an open is dropped
+// 499-style, and a failed backend open is the graph's 503 (the entry
+// stays re-openable, so the condition is retryable by design).
+func (s *Server) acquireError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, catalog.ErrUnknownGraph):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, context.Canceled):
+		s.canceledOps.Inc()
+		log.Printf("server: %s %s abandoned while opening graph (%v)", r.Method, r.URL.Path, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.canceledOps.Inc()
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		s.httpErrors.Inc()
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	}
+}
+
+// catalogStatsView is the catalog-mode /stats document — the
+// multi-tenant analogue of the per-backend views, golden-schema pinned
+// like them.
+type catalogStatsView struct {
+	Mode          string `json:"mode"`
+	Graphs        int    `json:"graphs"`
+	OpenGraphs    int    `json:"open_graphs"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	BudgetBytes   int64  `json:"budget_bytes"`
+	Evictions     uint64 `json:"evictions"`
+	ThrottledOps  uint64 `json:"throttled_ops"`
+	Requests      uint64 `json:"requests"`
+	Default       string `json:"default"`
+	CanceledOps   uint64 `json:"canceled_ops"`
+}
+
+func (s *Server) handleCatalogStats(w http.ResponseWriter, r *http.Request) {
+	st := s.cat.Stats()
+	writeJSON(w, catalogStatsView{
+		Mode:          "catalog",
+		Graphs:        st.Graphs,
+		OpenGraphs:    st.Open,
+		ResidentBytes: st.ResidentBytes,
+		BudgetBytes:   st.BudgetBytes,
+		Evictions:     st.Evictions,
+		ThrottledOps:  st.Throttled,
+		Requests:      st.Requests,
+		Default:       s.cat.DefaultID(),
+		CanceledOps:   s.canceledOps.Value(),
+	})
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{
+		"default": s.cat.DefaultID(),
+		"graphs":  s.cat.Graphs(),
+	})
+}

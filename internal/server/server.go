@@ -1,27 +1,39 @@
-// Package server exposes a SLING index over HTTP with a small JSON API,
-// the deployment shape a similarity service would actually run: build (or
-// load) the index once, then serve single-pair, single-source, top-k and
-// batched queries concurrently over pooled scratch.
+// Package server exposes SLING indexes over HTTP with a small JSON API,
+// the deployment shape a similarity service would actually run: build
+// (or load) each index once, then serve single-pair, single-source,
+// top-k and batched queries concurrently over pooled scratch.
 //
 // Every handler is written against the one sling.Querier interface, so
-// the index can be fully in-memory (New), disk-resident (NewDisk,
+// an index can be fully in-memory (New), disk-resident (NewDisk,
 // Section 5.4 of the paper), updatable (NewDynamic), or any future
-// backend handed to NewQuerier: the query surface is identical, only the
-// backend differs, and dynamic mode adds mutation endpoints. Request
-// contexts are threaded into every query, so a client that disconnects
-// mid-/batch stops burning CPU between per-source units; such aborts are
-// logged, dropped without a response (nginx's 499 convention), and
-// counted in /stats as canceled_ops.
+// backend handed to NewQuerier: the query surface is identical, only
+// the backend differs, and dynamic mode adds mutation endpoints.
 //
-// Endpoints:
+// NewCatalog serves many graphs from one process through a
+// catalog.Catalog: requests route by graph ID under /g/{id}/..., the
+// catalog lazily opens backends, evicts least-recently-used graphs
+// under a global memory budget, and enforces per-graph operation quotas
+// (rejections answer 429 with a Retry-After header). The un-prefixed
+// legacy paths keep working as aliases for the catalog's default graph,
+// so a single-graph client needs no changes when the deployment grows
+// multi-tenant.
+//
+// Request contexts are threaded into every query, so a client that
+// disconnects mid-/batch stops burning CPU between per-source units;
+// such aborts are logged, dropped without a response (nginx's 499
+// convention), and counted in /stats as canceled_ops.
+//
+// Endpoints (each also under /g/{id}/ in catalog mode):
 //
 //	GET  /simrank?u=U&v=V          -> {"u":U,"v":V,"score":S}
 //	GET  /source?u=U[&limit=L]     -> {"u":U,"scores":[{"node":V,"score":S},...]}
 //	GET  /topk?u=U&k=K             -> {"u":U,"results":[{"node":V,"score":S},...]}
 //	POST /batch                    -> {"results":[...]} (see batch.go)
-//	POST /update                   -> dynamic mode only (see update.go)
-//	POST /rebuild                  -> dynamic mode only (see update.go)
+//	POST /update                   -> dynamic backends only (see update.go)
+//	POST /rebuild                  -> dynamic backends only (see update.go)
 //	GET  /stats                    -> index and graph statistics
+//	GET  /metrics                  -> Prometheus text exposition
+//	GET  /graphs                   -> catalog mode: the graph listing
 //	GET  /healthz                  -> 200 ok
 //
 // Non-GET methods on the GET endpoints are rejected with 405 and an
@@ -34,9 +46,12 @@
 // /topk uses, selected with the same heap, not an arbitrary ID-order
 // prefix of the vector. Score lists are always JSON arrays, never null.
 //
-// Node parameters use the graph's original labels when the server is
-// constructed with a label mapping, dense IDs otherwise. Node IDs the
-// backend rejects (sling.ErrNodeRange) answer 400, like parse failures.
+// Node parameters use the graph's original labels when the graph has a
+// label mapping, dense IDs otherwise. Node IDs the backend rejects
+// (sling.ErrNodeRange) answer 400, like parse failures. Validation is
+// the backend's: the server resolves labels and guards 32-bit
+// narrowing, then lets the Querier reject out-of-range IDs, so the
+// served node count is never cached outside the backend that owns it.
 package server
 
 import (
@@ -45,12 +60,15 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
-	"sync/atomic"
+	"time"
 
 	"sling"
+	"sling/internal/catalog"
+	"sling/internal/metrics"
 )
 
 // Config tunes a Server beyond its defaults.
@@ -60,28 +78,56 @@ type Config struct {
 	BatchWorkers int
 	// MaxBatchOps caps the number of operations accepted in one POST
 	// /batch request; larger requests are rejected with 413. Default 4096.
+	// Catalog graphs may lower it per graph via their manifest entry.
 	MaxBatchOps int
+	// Registry receives the server's instruments. Defaults to a fresh
+	// registry (catalog mode defaults to the catalog's).
+	Registry *metrics.Registry
 }
 
 // DefaultMaxBatchOps is the default cap on operations per /batch request.
 const DefaultMaxBatchOps = 4096
 
-// Server routes HTTP queries to a SLING index through the sling.Querier
-// interface. It is safe for concurrent use; the underlying index pools
-// query scratch internally.
-type Server struct {
-	q      sling.Querier
-	stats  func() map[string]interface{}
-	dyn    *sling.DynamicIndex    // non-nil in dynamic mode only
-	nodes  int                    // served node count (fixed for the server's lifetime)
-	labels []int64                // dense ID -> original label; nil = identity
-	byLbl  map[int64]sling.NodeID // original label -> dense ID
-	mux    *http.ServeMux
-	cfg    Config
+// Server instrument names, shared with the exposition golden test.
+const (
+	MetricHTTPRequests = "sling_http_requests_total"
+	MetricHTTPErrors   = "sling_http_errors_total"
+	MetricCanceledOps  = "sling_canceled_ops_total"
+	MetricHTTPLatency  = "sling_http_request_seconds"
+)
 
-	// canceledOps counts operations dropped because the client abandoned
-	// the request (context cancelled mid-query or mid-batch).
-	canceledOps atomic.Uint64
+// Server routes HTTP queries to SLING indexes through the sling.Querier
+// interface — one fixed backend in single-graph mode, a catalog of
+// lazily opened backends in catalog mode. It is safe for concurrent
+// use; the underlying indexes pool query scratch internally.
+type Server struct {
+	def *tenant          // single-graph mode; nil in catalog mode
+	cat *catalog.Catalog // catalog mode; nil otherwise
+	mux *http.ServeMux
+	cfg Config
+	reg *metrics.Registry
+
+	// Typed instruments replacing the former ad-hoc counters: the
+	// registry is the one source of truth, and /stats reads these values
+	// instead of keeping parallel state.
+	requests    *metrics.Counter
+	httpErrors  *metrics.Counter
+	canceledOps *metrics.Counter
+	latency     *metrics.Histogram
+}
+
+// tenant is the serving view of one graph for one request: the backend,
+// its label mapping, and (in catalog mode) the lease and quota handle.
+// Single-graph servers build one tenant at construction; catalog
+// servers build one per request around a catalog.Handle.
+type tenant struct {
+	s           *Server
+	q           sling.Querier
+	dyn         *sling.DynamicIndex    // non-nil for updatable backends
+	labels      []int64                // dense ID -> original label; nil = identity
+	byLbl       map[int64]sling.NodeID // original label -> dense ID
+	h           *catalog.Handle        // catalog mode only
+	maxBatchOps int
 }
 
 // New creates a Server over a built in-memory index with a default
@@ -96,7 +142,7 @@ func New(ix *sling.Index, labels []int64) (*Server, error) {
 // kept the last duplicate would route queries for the earlier node to
 // the wrong one.
 func NewWithConfig(ix *sling.Index, labels []int64, cfg Config) (*Server, error) {
-	return newServer(ix, memStats(ix), labels, cfg)
+	return newServer(ix, nil, labels, cfg)
 }
 
 // NewDisk creates a Server over a disk-resident index (Section 5.4):
@@ -104,7 +150,7 @@ func NewWithConfig(ix *sling.Index, labels []int64, cfg Config) (*Server, error)
 // positioned preads, through the index's pooled scratch and optional
 // entry cache.
 func NewDisk(di *sling.DiskIndex, labels []int64, cfg Config) (*Server, error) {
-	return newServer(di, diskStats(di), labels, cfg)
+	return newServer(di, nil, labels, cfg)
 }
 
 // NewDynamic creates a Server over an updatable index. The query surface
@@ -112,55 +158,90 @@ func NewDisk(di *sling.DiskIndex, labels []int64, cfg Config) (*Server, error) {
 // operations, POST /rebuild swaps in a freshly built epoch, and /stats
 // reports epoch, staleness-frontier, and rebuild-state counters.
 func NewDynamic(dx *sling.DynamicIndex, labels []int64, cfg Config) (*Server, error) {
-	s, err := newServer(dx, dynStats(dx), labels, cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.dyn = dx
-	s.mux.HandleFunc("/update", s.postOnly(s.handleUpdate))
-	s.mux.HandleFunc("/rebuild", s.postOnly(s.handleRebuild))
-	return s, nil
+	return newServer(dx, dx, labels, cfg)
 }
 
 // NewQuerier creates a Server over any sling.Querier — the constructor a
 // future backend (sharded, replicated, remote) plugs into without the
 // server growing a new mode. /stats reports the backend's QuerierMeta.
 func NewQuerier(q sling.Querier, labels []int64, cfg Config) (*Server, error) {
-	return newServer(q, querierStats(q), labels, cfg)
+	return newServer(q, nil, labels, cfg)
 }
 
-func newServer(q sling.Querier, stats func() map[string]interface{}, labels []int64, cfg Config) (*Server, error) {
+// fillDefaults normalizes a Config in place.
+func (cfg *Config) fillDefaults() {
 	if cfg.BatchWorkers <= 0 {
 		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.MaxBatchOps <= 0 {
 		cfg.MaxBatchOps = DefaultMaxBatchOps
 	}
-	// Cache the node count: the node set is fixed for every backend
-	// (the dynamic layer mutates edges, never nodes), and Meta() on the
-	// dynamic backend costs epoch acquisitions — too much for a check
-	// that runs per node parameter.
-	s := &Server{q: q, stats: stats, nodes: q.Meta().Nodes, labels: labels, cfg: cfg}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+}
+
+// instruments registers the server-level instruments on s.reg.
+func (s *Server) instruments() {
+	s.requests = s.reg.Counter(MetricHTTPRequests, "HTTP requests served")
+	s.httpErrors = s.reg.Counter(MetricHTTPErrors, "HTTP responses with status >= 400")
+	s.canceledOps = s.reg.Counter(MetricCanceledOps, "operations dropped because the client abandoned the request")
+	s.latency = s.reg.Histogram(MetricHTTPLatency, "HTTP request latency", nil)
+}
+
+// newTenant builds the fixed single-graph tenant, validating the label
+// mapping.
+func newTenant(s *Server, q sling.Querier, dyn *sling.DynamicIndex, labels []int64, maxBatchOps int) (*tenant, error) {
+	t := &tenant{s: s, q: q, dyn: dyn, labels: labels, maxBatchOps: maxBatchOps}
 	if labels != nil {
-		s.byLbl = make(map[int64]sling.NodeID, len(labels))
+		t.byLbl = make(map[int64]sling.NodeID, len(labels))
 		for id, l := range labels {
-			if dup, ok := s.byLbl[l]; ok {
+			if dup, ok := t.byLbl[l]; ok {
 				return nil, fmt.Errorf("server: duplicate label %d (nodes %d and %d)", l, dup, id)
 			}
-			s.byLbl[l] = sling.NodeID(id)
+			t.byLbl[l] = sling.NodeID(id)
 		}
 	}
+	return t, nil
+}
+
+func newServer(q sling.Querier, dyn *sling.DynamicIndex, labels []int64, cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	s := &Server{cfg: cfg, reg: cfg.Registry}
+	s.instruments()
+	registerBackendGauges(s.reg, q)
+	t, err := newTenant(s, q, dyn, labels, cfg.MaxBatchOps)
+	if err != nil {
+		return nil, err
+	}
+	s.def = t
+
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/simrank", s.getOnly(s.handleSimRank))
-	s.mux.HandleFunc("/source", s.getOnly(s.handleSource))
-	s.mux.HandleFunc("/topk", s.getOnly(s.handleTopK))
-	s.mux.HandleFunc("/batch", s.postOnly(s.handleBatch))
-	s.mux.HandleFunc("/stats", s.getOnly(s.handleStats))
+	s.mux.HandleFunc("/simrank", s.getOnly(s.fixed((*tenant).handleSimRank)))
+	s.mux.HandleFunc("/source", s.getOnly(s.fixed((*tenant).handleSource)))
+	s.mux.HandleFunc("/topk", s.getOnly(s.fixed((*tenant).handleTopK)))
+	s.mux.HandleFunc("/batch", s.postOnly(s.fixed((*tenant).handleBatch)))
+	s.mux.HandleFunc("/stats", s.getOnly(s.fixed((*tenant).handleStats)))
+	if dyn != nil {
+		s.mux.HandleFunc("/update", s.postOnly(s.fixed((*tenant).handleUpdate)))
+		s.mux.HandleFunc("/rebuild", s.postOnly(s.fixed((*tenant).handleRebuild)))
+	}
+	s.commonRoutes()
+	return s, nil
+}
+
+// fixed adapts a tenant handler to the single-graph tenant.
+func (s *Server) fixed(h func(*tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { h(s.def, w, r) }
+}
+
+// commonRoutes registers the mode-independent endpoints.
+func (s *Server) commonRoutes() {
+	s.mux.Handle("/metrics", s.getOnly(s.reg.Handler().ServeHTTP))
 	s.mux.HandleFunc("/healthz", s.getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	}))
-	return s, nil
 }
 
 // getOnly wraps a handler to reject non-GET/HEAD methods with 405 and an
@@ -189,47 +270,93 @@ func (s *Server) postOnly(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-// label converts a dense ID back to the external label.
-func (s *Server) label(id sling.NodeID) int64 {
-	if s.labels == nil {
-		return int64(id)
-	}
-	return s.labels[id]
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
 }
 
-// numNodes is the served node count, cached at construction.
-func (s *Server) numNodes() int { return s.nodes }
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler, recording the server-level request
+// count, latency, and error count around the routed handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.latency.ObserveSince(start)
+	if sw.code >= 400 {
+		s.httpErrors.Inc()
+	}
+}
+
+// Registry returns the server's metrics registry (the catalog's in
+// catalog mode), the same instruments GET /metrics exposes.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// label converts a dense ID back to the external label.
+func (t *tenant) label(id sling.NodeID) int64 {
+	if t.labels == nil {
+		return int64(id)
+	}
+	return t.labels[id]
+}
 
 // denseID resolves a parsed int64 node parameter to a dense NodeID:
-// label-map lookup when the server has one, range-checked narrowing
-// otherwise. The range check must stay here even though every Querier
-// validates node IDs — NodeID is 32-bit, so an unchecked int64 like
-// 2^32+5 would silently truncate to a valid-looking node before the
-// backend could reject it.
-func (s *Server) denseID(raw int64) (sling.NodeID, error) {
-	if s.byLbl != nil {
-		id, ok := s.byLbl[raw]
+// label-map lookup when the graph has one, 32-bit narrowing otherwise.
+// Range validation belongs to the Querier — every backend rejects
+// out-of-range IDs with sling.ErrNodeRange and the error paths map that
+// to 400 — but the narrowing guard must stay here: NodeID is 32-bit, so
+// an unchecked int64 like 2^32+5 would silently truncate to a
+// valid-looking node before the backend could reject it.
+func (t *tenant) denseID(raw int64) (sling.NodeID, error) {
+	if t.byLbl != nil {
+		id, ok := t.byLbl[raw]
 		if !ok {
 			return 0, fmt.Errorf("%w: node %d not in graph", sling.ErrNodeRange, raw)
 		}
 		return id, nil
 	}
-	if raw < 0 || raw >= int64(s.numNodes()) {
-		return 0, fmt.Errorf("%w: node %d not in [0,%d)", sling.ErrNodeRange, raw, s.numNodes())
+	if raw < 0 || raw > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: node %d is not a valid node ID", sling.ErrNodeRange, raw)
 	}
 	return sling.NodeID(raw), nil
 }
 
 // node parses a node parameter into a dense ID.
-func (s *Server) node(q string) (sling.NodeID, error) {
+func (t *tenant) node(q string) (sling.NodeID, error) {
 	raw, err := strconv.ParseInt(q, 10, 64)
 	if err != nil {
 		return 0, fmt.Errorf("bad node %q", q)
 	}
-	return s.denseID(raw)
+	return t.denseID(raw)
+}
+
+// allow charges n operations against the tenant's quota (catalog mode
+// only) and counts them as served. On rejection it writes the 429 with
+// a Retry-After header and reports false.
+func (t *tenant) allow(w http.ResponseWriter, n int) bool {
+	if t.h == nil {
+		return true
+	}
+	if err := t.h.AllowOps(n); err != nil {
+		var te *catalog.ThrottleError
+		if errors.As(err, &te) {
+			secs := int(math.Ceil(te.RetryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return false
+	}
+	t.h.CountOps(n)
+	return true
 }
 
 // queryError maps a Querier error to the HTTP response: a cancelled
@@ -238,17 +365,20 @@ func (s *Server) node(q string) (sling.NodeID, error) {
 // client may still be connected behind a server-side timeout, so it
 // must not see a bogus empty 200); node-range errors answer 400 like
 // parameter parse failures; anything else is a 500.
-func (s *Server) queryError(w http.ResponseWriter, r *http.Request, err error) {
+func (t *tenant) queryError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.Canceled):
-		s.canceledOps.Add(1)
+		t.s.canceledOps.Inc()
 		log.Printf("server: %s %s abandoned mid-query (%v)", r.Method, r.URL.Path, err)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.canceledOps.Add(1)
+		t.s.canceledOps.Inc()
 		httpError(w, http.StatusGatewayTimeout, err.Error())
 	case errors.Is(err, sling.ErrNodeRange):
 		httpErrorFor(w, http.StatusBadRequest, err)
 	default:
+		if t.h != nil {
+			t.h.CountError()
+		}
 		httpError(w, http.StatusInternalServerError, err.Error())
 	}
 }
@@ -287,31 +417,34 @@ type ScoredNode struct {
 	Score float64 `json:"score"`
 }
 
-func (s *Server) handleSimRank(w http.ResponseWriter, r *http.Request) {
-	u, err := s.node(r.URL.Query().Get("u"))
+func (t *tenant) handleSimRank(w http.ResponseWriter, r *http.Request) {
+	u, err := t.node(r.URL.Query().Get("u"))
 	if err != nil {
 		httpErrorFor(w, http.StatusBadRequest, err)
 		return
 	}
-	v, err := s.node(r.URL.Query().Get("v"))
+	v, err := t.node(r.URL.Query().Get("v"))
 	if err != nil {
 		httpErrorFor(w, http.StatusBadRequest, err)
 		return
 	}
-	score, err := s.q.SimRank(r.Context(), u, v)
+	if !t.allow(w, 1) {
+		return
+	}
+	score, err := t.q.SimRank(r.Context(), u, v)
 	if err != nil {
-		s.queryError(w, r, err)
+		t.queryError(w, r, err)
 		return
 	}
 	writeJSON(w, map[string]interface{}{
-		"u":     s.label(u),
-		"v":     s.label(v),
+		"u":     t.label(u),
+		"v":     t.label(v),
 		"score": score,
 	})
 }
 
-func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
-	u, err := s.node(r.URL.Query().Get("u"))
+func (t *tenant) handleSource(w http.ResponseWriter, r *http.Request) {
+	u, err := t.node(r.URL.Query().Get("u"))
 	if err != nil {
 		httpErrorFor(w, http.StatusBadRequest, err)
 		return
@@ -325,12 +458,15 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = l
 	}
-	scores, err := s.sourceScores(r.Context(), u, limit)
-	if err != nil {
-		s.queryError(w, r, err)
+	if !t.allow(w, 1) {
 		return
 	}
-	writeJSON(w, map[string]interface{}{"u": s.label(u), "scores": scores})
+	scores, err := t.sourceScores(r.Context(), u, limit)
+	if err != nil {
+		t.queryError(w, r, err)
+		return
+	}
+	writeJSON(w, map[string]interface{}{"u": t.label(u), "scores": scores})
 }
 
 // sourceScores computes the /source payload: the full score vector in
@@ -338,37 +474,37 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 // nodes in descending score order (ties by ascending node ID), selected
 // with the size-limit heap rather than a full sort. The result is never
 // nil, so it always encodes as a JSON array.
-func (s *Server) sourceScores(ctx context.Context, u sling.NodeID, limit int) ([]ScoredNode, error) {
+func (t *tenant) sourceScores(ctx context.Context, u sling.NodeID, limit int) ([]ScoredNode, error) {
 	if limit < 0 {
-		scores, err := s.q.SingleSource(ctx, u, nil)
+		scores, err := t.q.SingleSource(ctx, u, nil)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]ScoredNode, len(scores))
 		for v, sc := range scores {
-			out[v] = ScoredNode{Node: s.label(sling.NodeID(v)), Score: sc}
+			out[v] = ScoredNode{Node: t.label(sling.NodeID(v)), Score: sc}
 		}
 		return out, nil
 	}
-	top, err := s.q.SourceTop(ctx, u, limit)
+	top, err := t.q.SourceTop(ctx, u, limit)
 	if err != nil {
 		return nil, err
 	}
-	return s.scored(top), nil
+	return t.scored(top), nil
 }
 
 // scored converts top-k results to response entries in external labels.
 // The result is never nil (a nil slice would encode as JSON null).
-func (s *Server) scored(top []sling.Scored) []ScoredNode {
+func (t *tenant) scored(top []sling.Scored) []ScoredNode {
 	out := make([]ScoredNode, len(top))
-	for i, t := range top {
-		out[i] = ScoredNode{Node: s.label(t.Node), Score: t.Score}
+	for i, e := range top {
+		out[i] = ScoredNode{Node: t.label(e.Node), Score: e.Score}
 	}
 	return out
 }
 
-func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	u, err := s.node(r.URL.Query().Get("u"))
+func (t *tenant) handleTopK(w http.ResponseWriter, r *http.Request) {
+	u, err := t.node(r.URL.Query().Get("u"))
 	if err != nil {
 		httpErrorFor(w, http.StatusBadRequest, err)
 		return
@@ -381,16 +517,17 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	top, err := s.q.TopK(r.Context(), u, k)
-	if err != nil {
-		s.queryError(w, r, err)
+	if !t.allow(w, 1) {
 		return
 	}
-	writeJSON(w, map[string]interface{}{"u": s.label(u), "results": s.scored(top)})
+	top, err := t.q.TopK(r.Context(), u, k)
+	if err != nil {
+		t.queryError(w, r, err)
+		return
+	}
+	writeJSON(w, map[string]interface{}{"u": t.label(u), "results": t.scored(top)})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.stats()
-	st["canceled_ops"] = s.canceledOps.Load()
-	writeJSON(w, st)
+func (t *tenant) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, statsView(t.q, t.s.canceledOps.Value()))
 }

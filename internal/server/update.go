@@ -40,9 +40,16 @@ type UpdateOp struct {
 	To   *int64 `json:"to,omitempty"`
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	ops, ok := decodeOps[UpdateOp](s, w, r, "update")
+func (t *tenant) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if t.dyn == nil {
+		httpError(w, http.StatusNotFound, "graph is not served by an updatable backend")
+		return
+	}
+	ops, ok := decodeOps[UpdateOp](t, w, r, "update")
 	if !ok {
+		return
+	}
+	if !t.allow(w, len(ops)) {
 		return
 	}
 
@@ -63,12 +70,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		from, err := s.opNode(op.From, "from")
+		from, err := t.opNode(op.From, "from")
 		if err != nil {
 			results[i] = map[string]interface{}{"op": op.Op, "error": err.Error()}
 			continue
 		}
-		to, err := s.opNode(op.To, "to")
+		to, err := t.opNode(op.To, "to")
 		if err != nil {
 			results[i] = map[string]interface{}{"op": op.Op, "error": err.Error()}
 			continue
@@ -78,7 +85,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	applied := 0
 	if len(edgeOps) > 0 {
-		res, n, err := s.dyn.Apply(edgeOps)
+		res, n, err := t.dyn.Apply(edgeOps)
 		if err != nil {
 			httpError(w, http.StatusServiceUnavailable, err.Error())
 			return
@@ -98,7 +105,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			results[slot[i]] = entry
 		}
 	}
-	st := s.dyn.Stats()
+	st := t.dyn.Stats()
 	writeJSON(w, map[string]interface{}{
 		"results":   results,
 		"applied":   applied,
@@ -108,14 +115,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+func (t *tenant) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	if t.dyn == nil {
+		httpError(w, http.StatusNotFound, "graph is not served by an updatable backend")
+		return
+	}
 	start := time.Now()
-	if err := s.dyn.Rebuild(); err != nil {
+	if err := t.dyn.Rebuild(); err != nil {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	writeJSON(w, map[string]interface{}{
-		"epoch":   s.dyn.Epoch(),
+		"epoch":   t.dyn.Epoch(),
 		"took_ms": float64(time.Since(start).Nanoseconds()) / 1e6,
 	})
 }

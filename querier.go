@@ -41,6 +41,11 @@ type QuerierMeta struct {
 	// Epoch is the serving index generation for epoch-swapping backends
 	// (the dynamic layer); 0 for immutable backends.
 	Epoch uint64
+	// Bytes is the backend's resident memory footprint: index structures,
+	// the graph, and any configured caches. The multi-tenant catalog uses
+	// it to account Queriers against its global memory budget, so every
+	// backend must report a best-effort honest number rather than 0.
+	Bytes int64
 }
 
 // Querier is the uniform query interface every SLING backend implements.

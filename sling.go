@@ -220,6 +220,7 @@ func (ix *Index) Meta() QuerierMeta {
 		Nodes: ix.n,
 		C:     ix.x.C(),
 		Eps:   ix.x.ErrorBound(),
+		Bytes: ix.x.Bytes() + ix.x.Graph().Bytes(),
 	}
 }
 
@@ -395,6 +396,10 @@ func (di *DiskIndex) Meta() QuerierMeta {
 		Nodes: di.n,
 		C:     di.d.Meta().C(),
 		Eps:   di.d.Meta().ErrorBound(),
+		// Resident metadata plus the graph and the entry-cache budget
+		// (MaxBytes, not current occupancy, so catalog admission accounts
+		// the cache's worst case up front).
+		Bytes: di.d.Meta().Bytes() + di.d.Meta().Graph().Bytes() + di.d.CacheStats().MaxBytes,
 	}
 }
 
@@ -581,6 +586,7 @@ func (dx *DynamicIndex) SourceTop(ctx context.Context, u NodeID, limit int) ([]S
 // Meta describes the dynamic index as a Querier backend. Epoch advances
 // with every rebuild swap.
 func (dx *DynamicIndex) Meta() QuerierMeta {
+	st := dx.d.Stats()
 	return QuerierMeta{
 		Name:    "dynamic",
 		Nodes:   dx.n,
@@ -588,6 +594,7 @@ func (dx *DynamicIndex) Meta() QuerierMeta {
 		Eps:     dx.d.ErrorBound(),
 		Clamped: true,
 		Epoch:   dx.d.Epoch(),
+		Bytes:   st.IndexBytes + dx.d.Graph().Bytes(),
 	}
 }
 
