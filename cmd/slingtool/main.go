@@ -182,7 +182,7 @@ func cmdQuery(args []string) error {
 		}
 		id, ok := byLabel[label]
 		if !ok {
-			return 0, fmt.Errorf("node %d not in graph", label)
+			return 0, fmt.Errorf("%w: node %d not in graph", sling.ErrNodeRange, label)
 		}
 		return id, nil
 	}
@@ -322,7 +322,7 @@ func cmdSource(args []string) error {
 	}
 	id, ok := byLabel[*node]
 	if !ok {
-		return fmt.Errorf("node %d not in graph", *node)
+		return fmt.Errorf("%w: node %d not in graph", sling.ErrNodeRange, *node)
 	}
 	ix, err := sling.Open(*indexPath, g)
 	if err != nil {

@@ -1,0 +1,145 @@
+// Command slingvet runs the repository's custom analyzer suite
+// (internal/analysis): the static checks that mechanically enforce
+// SLING's determinism, cancellation, and pooling invariants.
+//
+// Standalone mode (the usual way, what CI runs):
+//
+//	slingvet ./...              # analyze packages and their tests
+//	slingvet -tests=false ./... # production files only
+//	slingvet -only seededrand,floateq ./...
+//	slingvet -list
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Vet-tool mode: when invoked with a single *.cfg argument (or -V=full),
+// slingvet speaks the cmd/go unitchecker protocol, so it also runs as
+//
+//	go vet -vettool=$(which slingvet) ./...
+//
+// In that mode cmd/go owns package-graph traversal and hands slingvet
+// one pre-planned unit (file list, import map, export data) per
+// package; findings go to stderr and the exit status is 2, matching
+// x/tools' unitchecker.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sling/internal/analysis"
+	"sling/internal/analysis/framework"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Vet-tool handshake: cmd/go keys its build cache on the tool's
+	// content hash, so -V=full must report a buildID derived from the
+	// executable itself (the same scheme x/tools' unitchecker uses).
+	if len(args) > 0 && (args[0] == "-V=full" || args[0] == "-V") {
+		name := filepath.Base(os.Args[0])
+		var id string
+		if data, err := os.ReadFile(os.Args[0]); err == nil {
+			h := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", h)
+		}
+		fmt.Printf("%s version devel buildID=%s\n", name, id)
+		return 0
+	}
+	// cmd/go also probes `-flags` for the tool's flag schema (a JSON
+	// array); the suite takes no per-unit flags.
+	if len(args) > 0 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnit(args[0])
+	}
+
+	fs := flag.NewFlagSet("slingvet", flag.ExitOnError)
+	tests := fs.Bool("tests", true, "also analyze test files (in-package and external test packages)")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: slingvet [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slingvet:", err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := framework.Load(framework.LoadConfig{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slingvet:", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := framework.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slingvet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "slingvet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves -only against the suite.
+func selectAnalyzers(only string) ([]*framework.Analyzer, error) {
+	suite := analysis.Suite()
+	if only == "" {
+		return suite, nil
+	}
+	byName := map[string]*framework.Analyzer{}
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*framework.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

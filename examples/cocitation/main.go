@@ -15,7 +15,7 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"math/rand"
+	"sling/internal/rng"
 
 	"sling"
 )
@@ -27,7 +27,7 @@ const (
 )
 
 func main() {
-	rnd := rand.New(rand.NewSource(7))
+	rnd := rng.New(7)
 
 	// Papers arrive in order and cite earlier papers: 85% of citations go
 	// to the same topic, the rest anywhere. Paper i's topic is i%numTopics.

@@ -17,7 +17,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"sling/internal/rng"
 
 	"sling"
 )
@@ -47,7 +47,7 @@ func commonIn(g *sling.Graph, u, v sling.NodeID) int {
 }
 
 func main() {
-	rnd := rand.New(rand.NewSource(31))
+	rnd := rng.New(31)
 	// Layout: [0, organic) organic accounts, then `pairs` duplicate pairs.
 	n := organic + 2*pairs
 	b := sling.NewGraphBuilder(n)

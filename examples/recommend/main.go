@@ -16,7 +16,7 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"math/rand"
+	"sling/internal/rng"
 
 	"sling"
 )
@@ -30,7 +30,7 @@ const (
 )
 
 func main() {
-	rnd := rand.New(rand.NewSource(99))
+	rnd := rng.New(99)
 	numItems := numGroups*perSection + generic
 	// Node layout: [0, numUsers) users, [numUsers, numUsers+numItems) items.
 	item := func(i int) sling.NodeID { return sling.NodeID(numUsers + i) }

@@ -17,9 +17,9 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 	"path/filepath"
+	"sling/internal/rng"
 	"sort"
 
 	"sling"
@@ -32,7 +32,7 @@ const (
 )
 
 func main() {
-	rnd := rand.New(rand.NewSource(2016))
+	rnd := rng.New(2016)
 	n := organicPages + farmPages
 	b := sling.NewGraphBuilder(n)
 

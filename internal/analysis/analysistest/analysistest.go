@@ -1,0 +1,109 @@
+// Package analysistest runs one analyzer over a fixture package and
+// compares its diagnostics against `// want` expectations in the
+// fixture source — the same contract as x/tools' analysistest, scoped
+// to what the slingvet suite needs.
+//
+// Fixture layout, mirroring x/tools convention:
+//
+//	internal/analysis/<name>/testdata/src/<pkg>/...
+//
+// testdata directories are invisible to `./...` wildcards (so CI's
+// `slingvet ./...` never trips over intentional violations) but fully
+// buildable when named explicitly, which is how the loader reaches
+// them. Expectations are trailing comments on the offending line:
+//
+//	x := rand.Int() // want `forbidden outside`
+//
+// The backquoted text is a regexp that must match the diagnostic
+// message; every diagnostic must be wanted and every want matched.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sling/internal/analysis/framework"
+)
+
+// wantRe extracts `// want `regexp“ expectations. Multiple wants may
+// share one line.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// Run loads the fixture package at importPath (an explicit package
+// path under some testdata/src), applies a, and asserts the
+// diagnostics equal the fixture's want comments.
+func Run(t *testing.T, a *framework.Analyzer, importPath string) {
+	t.Helper()
+	pkgs, err := framework.Load(framework.LoadConfig{Tests: false}, importPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", importPath, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("load %s: no packages", importPath)
+	}
+	for _, pkg := range pkgs {
+		diags, err := framework.RunAnalyzers(pkg, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+// expectation is one want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+func checkExpectations(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Syntax {
+		name := pkg.Fset.File(f.Pos()).Name()
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		for i, lineText := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(lineText, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", fmtPos(pos.Filename, pos.Line), d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("no diagnostic at %s matching %q", fmtPos(w.file, w.line), w.re)
+		}
+	}
+}
+
+func fmtPos(file string, line int) string {
+	if i := strings.LastIndex(file, "/testdata/"); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}

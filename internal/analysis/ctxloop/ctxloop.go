@@ -1,0 +1,156 @@
+// Package ctxloop flags per-item work loops that ignore an available
+// context.Context.
+//
+// Invariant: the Querier contract (querier.go) promises that a
+// cancelled ctx is observed "before any work and between per-source
+// units", so an abandoned batch stops burning CPU at item granularity.
+// PR 5 made that promise load-bearing — the HTTP layer counts dropped
+// operations and the conformance contract tests assert pre-cancelled
+// contexts return ctx.Err() — and every new fan-out (sharded serving,
+// per-query routing) must keep it.
+//
+// The check: inside any function that receives a context.Context, a
+// for/range loop over a slice-typed PARAMETER (the batch being served:
+// us []NodeID, ops []BatchOp, ...) whose body does real work (calls a
+// non-builtin function) must mention the context somewhere in its body
+// — a ctx.Err() / ctx.Done() check, a CtxErr(ctx) helper, or passing
+// ctx into the per-item call all count, because each one gives the
+// runtime a cancellation point per iteration. Loops over locals,
+// fixed-count loops, and call-free loops (slice assembly, validation
+// against in-memory state) are out of scope: the analyzer is
+// deliberately narrow so that every report is actionable.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sling/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxloop",
+	Doc:  "per-item loops over a batch parameter in ctx-taking functions must observe ctx in the loop body (Querier cancellation contract)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		var ftype *ast.FuncType
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ftype, body = fn.Type, fn.Body
+		case *ast.FuncLit:
+			ftype, body = fn.Type, fn.Body
+		default:
+			return true
+		}
+		if body == nil || !hasCtxParam(pass.TypesInfo, ftype) {
+			return true
+		}
+		params := sliceParams(pass.TypesInfo, ftype)
+		checkBody(pass, body, params)
+		return true
+	})
+	return nil
+}
+
+// hasCtxParam reports whether the function signature includes a
+// context.Context parameter.
+func hasCtxParam(info *types.Info, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && framework.IsContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// sliceParams collects the parameter objects with slice type — the
+// candidate batches.
+func sliceParams(info *types.Info, ftype *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkBody walks one function body (not descending into nested
+// function literals, which are checked on their own terms) and reports
+// offending loops.
+func checkBody(pass *framework.Pass, body *ast.BlockStmt, params map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		ident, ok := ast.Unparen(rng.X).(*ast.Ident)
+		if !ok || !params[pass.TypesInfo.Uses[ident]] {
+			return true
+		}
+		if !doesWork(pass.TypesInfo, rng.Body) || mentionsContext(pass.TypesInfo, rng.Body) {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"loop over batch parameter %q does per-item work but never observes ctx; check ctx.Err() (or pass ctx to the per-item call) so cancellation stops the fan-out between items", ident.Name)
+		return true
+	})
+}
+
+// doesWork reports whether the loop body calls any non-builtin
+// function — the proxy for "each iteration is a unit of work worth a
+// cancellation point".
+func doesWork(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch framework.CalleeObj(info, call).(type) {
+		case *types.Builtin, *types.TypeName, nil:
+			// Builtins, conversions to named types, and conversions to
+			// unnamed types (nil callee) are bookkeeping, not work.
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// mentionsContext reports whether the body references any value of
+// type context.Context (covers ctx.Err(), ctx.Done(), CtxErr(ctx), and
+// passing ctx onward).
+func mentionsContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj != nil && framework.IsContextType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

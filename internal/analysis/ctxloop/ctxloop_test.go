@@ -1,0 +1,16 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"sling/internal/analysis/analysistest"
+	"sling/internal/analysis/ctxloop"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, ctxloop.Analyzer, "./testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, ctxloop.Analyzer, "./testdata/src/b")
+}

@@ -1,0 +1,15 @@
+// Package a violates the ctxloop invariant: a ctx-taking function
+// fans out over a batch parameter without ever observing ctx.
+package a
+
+import "context"
+
+func ProcessAll(ctx context.Context, items []int) int {
+	total := 0
+	for _, it := range items { // want `loop over batch parameter "items" does per-item work but never observes ctx`
+		total += work(it)
+	}
+	return total
+}
+
+func work(n int) int { return n * n }

@@ -1,0 +1,52 @@
+// Package b satisfies the ctxloop invariant in the three accepted
+// ways: checking ctx.Err() between items, passing ctx into the
+// per-item call, and not taking a ctx at all.
+package b
+
+import "context"
+
+func CheckedLoop(ctx context.Context, items []int) (int, error) {
+	total := 0
+	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += work(it)
+	}
+	return total, nil
+}
+
+func DelegatingLoop(ctx context.Context, items []int) int {
+	total := 0
+	for _, it := range items {
+		total += workCtx(ctx, it)
+	}
+	return total
+}
+
+func NoContext(items []int) int {
+	total := 0
+	for _, it := range items {
+		total += work(it)
+	}
+	return total
+}
+
+// CheapLoop does no per-item call work, so there is no unit of work
+// for cancellation to stop between.
+func CheapLoop(ctx context.Context, items []int) int {
+	total := 0
+	for _, it := range items {
+		total += it
+	}
+	return total
+}
+
+func work(n int) int { return n * n }
+
+func workCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n * n
+}

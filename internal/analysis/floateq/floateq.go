@@ -1,0 +1,106 @@
+// Package floateq forbids exact equality on floating-point scores in
+// non-test code.
+//
+// Invariant: every score this repository produces is an estimate with
+// an additive-eps guarantee (|s̃ − s| ≤ ε, Theorem 1), so two
+// independently computed scores that are "the same" are only the same
+// to within tolerance — comparing them with == or != encodes a
+// decision that is correct only by accident of summation order. The
+// conformance matrix compares through eval's tolerance helpers
+// (eval.ApproxEqual and friends in sling/internal/eval); production
+// decisions must do the same.
+//
+// Two float comparisons ARE legitimate and exempt:
+//
+//   - comparison against the exact constant 0 (or any exact numeric
+//     constant written as 0): zero is exactly representable and the
+//     score pipeline uses it as a "slot unused" sentinel
+//     (singlesource.go's propagation lists depend on it);
+//
+//   - the deterministic sort tie-break idiom, where `a != b` guards an
+//     ordering decision on the same two values:
+//
+//     if a.Score != b.Score { return a.Score > b.Score }
+//     return a.Node < b.Node
+//
+//     Exact comparison is the POINT there — the ordering must be a
+//     total order over the actual bit patterns or TopK results would
+//     not be byte-identical across runs.
+//
+// Anything else wants eval.ApproxEqual(x, y, tol) or an explicit
+// |x−y| ≤ tol, or a //slingvet:ignore floateq with a reason.
+// Test files are out of scope: tests assert bitwise equivalence on
+// purpose (the conformance matrix is built on it).
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sling/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid == / != on float64 score values outside tests; scores carry an additive-eps guarantee, compare with eval's tolerance helpers",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return true
+		}
+		if pass.InTestFile(be.Pos()) {
+			return true
+		}
+		tx, ty := pass.TypesInfo.TypeOf(be.X), pass.TypesInfo.TypeOf(be.Y)
+		if tx == nil || ty == nil || !framework.IsFloat(tx) || !framework.IsFloat(ty) {
+			return true
+		}
+		if framework.IsZeroConst(pass.TypesInfo, be.X) || framework.IsZeroConst(pass.TypesInfo, be.Y) {
+			return true
+		}
+		if isTieBreak(be, stack) {
+			return true
+		}
+		pass.Reportf(be.Pos(),
+			"exact %s on float64 scores ignores the additive-eps guarantee; compare with a tolerance (internal/eval.ApproxEqual) or suppress with //slingvet:ignore floateq <reason>", be.Op)
+		return true
+	})
+	return nil
+}
+
+// isTieBreak recognizes the deterministic-ordering idiom: the
+// comparison is the condition of an `if` whose body is a single return
+// of an ordering comparison (< or >) over the SAME two expressions.
+func isTieBreak(be *ast.BinaryExpr, stack []ast.Node) bool {
+	if be.Op != token.NEQ {
+		return false
+	}
+	if len(stack) == 0 {
+		return false
+	}
+	ifStmt, ok := stack[len(stack)-1].(*ast.IfStmt)
+	if !ok || ast.Unparen(ifStmt.Cond) != be || len(ifStmt.Body.List) != 1 {
+		return false
+	}
+	ret, ok := ifStmt.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	ord, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+	if !ok || (ord.Op != token.LSS && ord.Op != token.GTR) {
+		return false
+	}
+	// Same two operands, in either order.
+	bx, by := types.ExprString(be.X), types.ExprString(be.Y)
+	ox, oy := types.ExprString(ord.X), types.ExprString(ord.Y)
+	return (bx == ox && by == oy) || (bx == oy && by == ox)
+}

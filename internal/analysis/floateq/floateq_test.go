@@ -1,0 +1,16 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"sling/internal/analysis/analysistest"
+	"sling/internal/analysis/floateq"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "./testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "./testdata/src/b")
+}

@@ -1,0 +1,17 @@
+// Package a violates the floateq invariant: exact equality on float64
+// score values, which the additive-eps guarantee never promises.
+package a
+
+func Same(a, b float64) bool {
+	return a == b // want `exact == on float64 scores`
+}
+
+func CountChanges(scores []float64) int {
+	n := 0
+	for i := 1; i < len(scores); i++ {
+		if scores[i] != scores[i-1] { // want `exact != on float64 scores`
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,26 @@
+// Package b satisfies the floateq invariant: comparisons against the
+// exact-zero sentinel, the sort tie-break idiom, and tolerance-based
+// equality are all accepted.
+package b
+
+import "math"
+
+// IsUnset checks the exact-zero sentinel — zero means "never written",
+// not a computed score, so exact comparison is the point.
+func IsUnset(s float64) bool {
+	return s == 0
+}
+
+// Less is the deterministic sort comparator: the tie-break idiom
+// (exact != guarding an ordering on the same operands) is exempt.
+func Less(a, b float64) bool {
+	if a != b {
+		return a < b
+	}
+	return false
+}
+
+// Close compares with a tolerance, the way score code should.
+func Close(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

@@ -1,0 +1,197 @@
+// Package framework is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis driver surface, just large enough
+// to run this repository's slingvet analyzers offline.
+//
+// The exported shapes — Analyzer, Pass, Diagnostic — mirror x/tools
+// deliberately, field for field where we use them, so the analyzers in
+// internal/analysis/... are mechanical ports away from (or back to) the
+// real framework: if the x/tools dependency ever becomes available to
+// this module, each analyzer body moves unchanged and only the import
+// path and the driver (cmd/slingvet) change. Until then the root module
+// stays free of external dependencies, which is itself one of the
+// invariants CI enforces.
+//
+// What is intentionally missing compared to x/tools: facts (no analyzer
+// here needs cross-package state beyond what export data carries),
+// SSA/CFG (poolpair uses a documented lexical approximation instead),
+// and analyzer-to-analyzer requirements.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one slingvet check: a named invariant and the
+// function that enforces it over a single type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in
+	// //slingvet:ignore comments. Lowercase, no spaces.
+	Name string
+	// Doc states the invariant, why it holds in this repository, and
+	// what a violation breaks. The first line is the summary.
+	Doc string
+	// Run inspects one package and reports violations via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an
+// analyzer, mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report records a violation at pos.
+func (p *Pass) Report(pos token.Pos, msg string) {
+	*p.diags = append(*p.diags, Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: msg})
+}
+
+// Reportf is Report with formatting.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Analyzers
+// whose invariant only binds production code (floateq, metriclabel)
+// gate on this; the rest apply to tests too.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// WalkStack traverses every file of the pass, calling fn with each node
+// and the stack of its ancestors (outermost first, not including n).
+// Return false from fn to skip the node's children.
+func (p *Pass) WalkStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}
+
+// ignoreRe matches suppression comments:
+//
+//	//slingvet:ignore name1,name2 reason...
+//	//slingvet:ignore all reason...
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory: a suppression with no justification is itself useless
+// to the next reader.
+var ignoreRe = regexp.MustCompile(`^//slingvet:ignore\s+([a-z0-9,]+)\s+(.+)$`)
+
+// ignoreIndex records, per file line, which analyzers are suppressed.
+type ignoreIndex map[string]map[int]map[string]bool // filename -> line -> analyzer set
+
+// buildIgnoreIndex scans the comments of files for suppression
+// directives. A directive suppresses matches on its own line and on the
+// following line (covering both trailing and preceding placement).
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names := map[string]bool{}
+				for _, n := range strings.Split(m[1], ",") {
+					names[n] = true
+				}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					idx[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := byLine[line]
+					if set == nil {
+						set = map[string]bool{}
+						byLine[line] = set
+					}
+					for n := range names {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether d is covered by a //slingvet:ignore
+// directive in idx.
+func (idx ignoreIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	set := idx[pos.Filename][pos.Line]
+	return set[d.Analyzer] || set["all"]
+}
+
+// RunAnalyzers applies every analyzer to one loaded package and returns
+// the surviving (non-suppressed) diagnostics, sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	idx := buildIgnoreIndex(pkg.Fset, pkg.Syntax)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !idx.suppressed(pkg.Fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}

@@ -1,0 +1,179 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader resolves package patterns with the go command itself
+// (`go list -deps -export -json`), so slingvet sees exactly the file
+// sets and build-constraint decisions real builds see, then parses the
+// target packages and type-checks them against the compiler's export
+// data. This is the same division of labor as `go vet`: the go command
+// owns package graphs and export data, the tool owns syntax and types.
+// It needs no module downloads and no network — only the local build
+// cache, which `go list -export` populates as a side effect.
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	ForTest    string // non-empty for test variants ("p [p.test]")
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+}
+
+// LoadConfig tunes Load.
+type LoadConfig struct {
+	// Dir is the working directory for go list (the module root or any
+	// directory inside it). Empty means the current directory.
+	Dir string
+	// Tests includes each target package's test files (in-package and
+	// external test packages) in the analysis, the way `go vet` does.
+	Tests bool
+}
+
+// Load resolves patterns to packages and type-checks each target.
+// Patterns are anything `go list` accepts ("./...", explicit import
+// paths, including paths under testdata directories, which wildcards
+// skip but explicit arguments reach).
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-deps", "-export",
+		"-json=Dir,ImportPath,ForTest,Export,Standard,DepOnly,GoFiles,Imports"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	exports := map[string]string{} // resolved import path -> export data file
+	var targets []*listPackage
+	hasTestVariant := map[string]bool{} // plain paths that also appear as "p [p.test]"
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || strings.HasSuffix(p.ImportPath, ".test") {
+			// Dependencies only feed the importer; synthesized test-main
+			// packages are generated code with nothing to check.
+			continue
+		}
+		if p.ForTest != "" && strings.HasPrefix(p.ImportPath, p.ForTest+" ") {
+			// "p [p.test]" carries p's files plus its in-package tests;
+			// analyzing it covers (and supersedes) plain p.
+			hasTestVariant[p.ForTest] = true
+		}
+		q := p
+		targets = append(targets, &q)
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, p := range targets {
+		if p.ForTest == "" && hasTestVariant[p.ImportPath] {
+			continue // the test variant supersedes the plain package
+		}
+		pkg, err := check(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package against export data.
+func check(fset *token.FileSet, p *listPackage, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	// Test variants import test variants: when this package's import list
+	// carries "q [x.test]", a source-level import of "q" must resolve to
+	// that variant's export data, not plain q's.
+	resolve := map[string]string{}
+	for _, imp := range p.Imports {
+		if i := strings.IndexByte(imp, ' '); i > 0 {
+			resolve[imp[:i]] = imp
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if v, ok := resolve[path]; ok {
+			path = v
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	// The display path for test variants ("p [p.test]") is not a valid
+	// types.Package path; strip the bracket suffix.
+	path := p.ImportPath
+	if i := strings.IndexByte(path, ' '); i > 0 {
+		path = path[:i]
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}

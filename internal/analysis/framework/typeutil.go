@@ -1,0 +1,75 @@
+package framework
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Small type-query helpers shared by the analyzers. Each answers one
+// question the analyzers keep asking of go/types.
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// IsFloat reports whether t's underlying type (or element-through-named
+// resolution via Default for untyped constants) is a floating type.
+func IsFloat(t types.Type) bool {
+	b, ok := types.Default(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// ConstString returns the compile-time string value of e, if e is a
+// constant expression (a literal or a declared const).
+func ConstString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// IsZeroConst reports whether e is a compile-time numeric constant
+// equal to exactly zero. Exact zero is the one float value code may
+// compare against directly: it is exactly representable and the score
+// pipeline uses it as a "slot unused" sentinel.
+func IsZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+	}
+	return false
+}
+
+// CalleeObj resolves the object a call expression invokes (function,
+// method, or builtin), or nil.
+func CalleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// ReceiverOf returns the receiver expression of a method-call selector
+// (x in x.M(...)), or nil for plain calls.
+func ReceiverOf(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+// Package metriclabel checks metrics-registry registrations.
+//
+// Invariant: the exposition schema is part of the serving contract —
+// dashboards scrape stable instrument names and the golden exposition
+// tests (internal/server, internal/catalog) pin exact name/label sets.
+// That only holds if every registration names its instrument with a
+// compile-time constant (a literal or a declared const; never a
+// Sprintf — dynamic dimensions belong in label VALUES), labels its
+// series with constant keys, and registers each family with one kind,
+// one help string, and one label-key shape.
+//
+// Checks, per package (test files are exempt; tests build throwaway
+// registries on purpose):
+//
+//   - the name and help arguments of Registry.Counter / Gauge /
+//     GaugeFunc / Histogram must be constant strings;
+//   - every label argument must be metrics.L(k, v) or a Label literal
+//     with a constant key (values may be dynamic: that is what labels
+//     are for);
+//   - a family name must not be registered with two different kinds,
+//     two different help strings, or two different non-empty label-key
+//     sequences. An unlabeled series may coexist with one labeled
+//     shape — the catalog's aggregate-plus-per-graph pattern.
+package metriclabel
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sling/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "metriclabel",
+	Doc:  "metrics instruments must register with constant names and label keys, unique kind/help per family, and one labeled shape per family",
+	Run:  run,
+}
+
+// metricsPath is the registry package the check binds to.
+const metricsPath = "sling/internal/metrics"
+
+// methodKind maps registration methods to their instrument kind and
+// the argument index where labels start.
+var methodKind = map[string]struct {
+	kind       string
+	labelStart int
+}{
+	"Counter":   {"counter", 2},
+	"Gauge":     {"gauge", 2},
+	"GaugeFunc": {"gauge", 3},
+	"Histogram": {"histogram", 3},
+}
+
+// family accumulates what one instrument name has been registered as.
+type family struct {
+	pos       token.Pos
+	kind      string
+	help      string
+	labelKeys []string // first non-empty key shape seen
+	hasKeys   bool
+}
+
+func run(pass *framework.Pass) error {
+	families := map[string]*family{}
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pass.InTestFile(call.Pos()) {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		mk, ok := methodKind[sel.Sel.Name]
+		if !ok || !isRegistry(pass.TypesInfo.TypeOf(sel.X)) {
+			return true
+		}
+		checkCall(pass, call, sel.Sel.Name, mk.kind, mk.labelStart, families)
+		return true
+	})
+	return nil
+}
+
+// isRegistry reports whether t is (a pointer to) metrics.Registry.
+func isRegistry(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == metricsPath
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr, method, kind string, labelStart int, families map[string]*family) {
+	if len(call.Args) < 2 {
+		return
+	}
+	name, nameOK := framework.ConstString(pass.TypesInfo, call.Args[0])
+	if !nameOK {
+		pass.Reportf(call.Args[0].Pos(),
+			"%s name must be a constant string (a literal or declared const); dynamic dimensions belong in label values, not instrument names", method)
+		return
+	}
+	help, helpOK := framework.ConstString(pass.TypesInfo, call.Args[1])
+	if !helpOK {
+		pass.Reportf(call.Args[1].Pos(),
+			"%s help for %q must be a constant string so the exposition schema is stable", method, name)
+	}
+
+	var keys []string
+	ok := true
+	for _, arg := range call.Args[labelStart:] {
+		k, kOK := labelKey(pass.TypesInfo, arg)
+		if !kOK {
+			pass.Reportf(arg.Pos(),
+				"label for %q must be metrics.L(key, value) or a Label literal with a constant key", name)
+			ok = false
+			continue
+		}
+		keys = append(keys, k)
+	}
+	if !ok || !helpOK {
+		return
+	}
+
+	f := families[name]
+	if f == nil {
+		f = &family{pos: call.Pos(), kind: kind, help: help}
+		families[name] = f
+	}
+	if f.kind != kind {
+		pass.Reportf(call.Pos(),
+			"instrument %q already registered as a %s (at %s); one kind per family", name, f.kind, pass.Fset.Position(f.pos))
+		return
+	}
+	if f.help != help {
+		pass.Reportf(call.Pos(),
+			"instrument %q registered with differing help text (%q vs %q at %s); the exposition emits one HELP line per family", name, help, f.help, pass.Fset.Position(f.pos))
+	}
+	if len(keys) > 0 {
+		if !f.hasKeys {
+			f.hasKeys = true
+			f.labelKeys = keys
+		} else if fmt.Sprint(keys) != fmt.Sprint(f.labelKeys) {
+			pass.Reportf(call.Pos(),
+				"instrument %q registered with label keys [%s] but previously [%s] (at %s); one labeled shape per family keeps cardinality consistent",
+				name, strings.Join(keys, ","), strings.Join(f.labelKeys, ","), pass.Fset.Position(f.pos))
+		}
+	}
+}
+
+// labelKey extracts the constant key of a label argument: either
+// metrics.L(k, v) or a (possibly &-taken) composite literal with a
+// Key field or positional first element.
+func labelKey(info *types.Info, arg ast.Expr) (string, bool) {
+	switch v := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		obj := framework.CalleeObj(info, v)
+		if obj == nil || obj.Name() != "L" || obj.Pkg() == nil || obj.Pkg().Path() != metricsPath || len(v.Args) != 2 {
+			return "", false
+		}
+		return framework.ConstString(info, v.Args[0])
+	case *ast.CompositeLit:
+		if len(v.Elts) == 0 {
+			return "", false
+		}
+		for _, el := range v.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Key" {
+					return framework.ConstString(info, kv.Value)
+				}
+				continue
+			}
+			// Positional literal: Key is the first element.
+			return framework.ConstString(info, el)
+		}
+		return "", false
+	case *ast.Ident, *ast.SelectorExpr:
+		// A label passed through a variable: accept only if its key is
+		// not determinable — be permissive here; shape consistency is
+		// checked where literals are used. Variables are rare (the
+		// catalog builds gl := metrics.L("graph", id) once); treat as
+		// an opaque single key named after the expression.
+		return types.ExprString(ast.Unparen(arg)), true
+	}
+	return "", false
+}

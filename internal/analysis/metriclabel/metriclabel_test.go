@@ -1,0 +1,16 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"sling/internal/analysis/analysistest"
+	"sling/internal/analysis/metriclabel"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, metriclabel.Analyzer, "./testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, metriclabel.Analyzer, "./testdata/src/b")
+}

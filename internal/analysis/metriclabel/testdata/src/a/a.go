@@ -1,0 +1,20 @@
+// Package a violates the metriclabel invariant four ways: a
+// Sprintf-built instrument name, a family re-registered as a different
+// kind, a dynamic label key, and two different label-key shapes on one
+// family.
+package a
+
+import (
+	"fmt"
+
+	"sling/internal/metrics"
+)
+
+func Register(r *metrics.Registry, graphID string) {
+	r.Counter(fmt.Sprintf("requests_%s", graphID), "per-graph requests") // want `name must be a constant string`
+	r.Counter("hits_total", "cache hits")
+	r.Gauge("hits_total", "cache hits")                      // want `already registered as a counter`
+	r.Gauge("depth", "queue depth", metrics.L(graphID, "x")) // want `constant key`
+	r.Counter("queries_total", "queries served", metrics.L("graph", graphID))
+	r.Counter("queries_total", "queries served", metrics.L("backend", graphID)) // want `one labeled shape per family`
+}

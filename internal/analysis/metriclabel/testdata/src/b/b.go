@@ -1,0 +1,17 @@
+// Package b satisfies the metriclabel invariant: constant names (a
+// literal or declared const), constant label keys, one kind and help
+// per family, and the aggregate-plus-per-graph pattern where an
+// unlabeled series coexists with one labeled shape.
+package b
+
+import "sling/internal/metrics"
+
+const reqName = "requests_total"
+
+func Register(r *metrics.Registry, graphID string) {
+	r.Counter(reqName, "total requests")
+	r.Counter(reqName, "total requests", metrics.L("graph", graphID))
+	r.Histogram("latency_seconds", "query latency", []float64{0.001, 0.01, 0.1}, metrics.L("graph", graphID))
+	r.GaugeFunc("resident_graphs", "graphs resident in the catalog", func() float64 { return 1 })
+	r.Gauge("build_info", "build metadata", metrics.Label{Key: "version", Value: graphID})
+}

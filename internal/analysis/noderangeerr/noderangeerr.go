@@ -1,0 +1,122 @@
+// Package noderangeerr enforces the single node-range error sentinel.
+//
+// Invariant: every backend answers an out-of-range node ID with an
+// error wrapping sling.ErrNodeRange — the Querier contract PR 5
+// introduced, which the conformance contract tests assert across all
+// seven backends and the HTTP layer maps to 400 + code:"node_range".
+// Two things quietly break it: a freshly constructed sentinel ("node
+// %d out of range" via errors.New / fmt.Errorf without %w), which
+// errors.Is can never match, and direct == / != comparison against the
+// sentinel, which breaks as soon as any layer wraps the error with
+// context (they all do).
+//
+// The check therefore flags:
+//
+//   - errors.New or fmt.Errorf whose message says a node is out of
+//     range without wrapping the sentinel (fmt.Errorf with a %w verb is
+//     trusted to wrap the right thing; the declaration of a package's
+//     canonical ErrNodeRange variable is exempt),
+//   - == / != where either operand is an ErrNodeRange sentinel
+//     (use errors.Is).
+package noderangeerr
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"sling/internal/analysis/framework"
+)
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "noderangeerr",
+	Doc:  "node-range failures must wrap the canonical ErrNodeRange sentinel and be tested with errors.Is, never re-invented or compared with ==",
+	Run:  run,
+}
+
+// msgRe matches error messages that announce a node-range failure.
+var msgRe = regexp.MustCompile(`(?i)node[^"]*(out of range|not in)|out of range[^"]*node`)
+
+func run(pass *framework.Pass) error {
+	pass.WalkStack(func(n ast.Node, stack []ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			checkConstruct(pass, v, stack)
+		case *ast.BinaryExpr:
+			checkCompare(pass, v)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkConstruct flags errors.New / fmt.Errorf that mint a fresh
+// node-range error.
+func checkConstruct(pass *framework.Pass, call *ast.CallExpr, stack []ast.Node) {
+	obj := framework.CalleeObj(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil || len(call.Args) == 0 {
+		return
+	}
+	var kind string
+	switch {
+	case obj.Pkg().Path() == "errors" && obj.Name() == "New":
+		kind = "errors.New"
+	case obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf":
+		kind = "fmt.Errorf"
+	default:
+		return
+	}
+	msg, ok := framework.ConstString(pass.TypesInfo, call.Args[0])
+	if !ok || !msgRe.MatchString(msg) {
+		return
+	}
+	if kind == "fmt.Errorf" && strings.Contains(msg, "%w") {
+		return // wrapping something; trusted
+	}
+	if kind == "errors.New" && declaresSentinel(stack) {
+		return // the canonical declaration itself
+	}
+	pass.Reportf(call.Pos(),
+		"%s mints a fresh node-range error that errors.Is(err, ErrNodeRange) can never match; wrap the canonical sentinel with fmt.Errorf(\"%%w: ...\", ErrNodeRange) instead", kind)
+}
+
+// declaresSentinel reports whether the enclosing declaration is
+// `var ErrNodeRange = ...` — the one place a bare errors.New with this
+// message is the point.
+func declaresSentinel(stack []ast.Node) bool {
+	for _, n := range stack {
+		if spec, ok := n.(*ast.ValueSpec); ok {
+			for _, name := range spec.Names {
+				if name.Name == "ErrNodeRange" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkCompare flags err == ErrNodeRange / err != ErrNodeRange.
+func checkCompare(pass *framework.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isSentinelRef(be.X) || isSentinelRef(be.Y) {
+		pass.Reportf(be.Pos(),
+			"comparing against ErrNodeRange with %s breaks once any layer wraps the error; use errors.Is(err, ErrNodeRange)", be.Op)
+	}
+}
+
+// isSentinelRef reports whether e denotes an ErrNodeRange variable
+// (plain or package-qualified).
+func isSentinelRef(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name == "ErrNodeRange"
+	case *ast.SelectorExpr:
+		return v.Sel.Name == "ErrNodeRange"
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package noderangeerr_test
+
+import (
+	"testing"
+
+	"sling/internal/analysis/analysistest"
+	"sling/internal/analysis/noderangeerr"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, noderangeerr.Analyzer, "./testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, noderangeerr.Analyzer, "./testdata/src/b")
+}

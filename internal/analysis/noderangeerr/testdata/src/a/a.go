@@ -1,0 +1,22 @@
+// Package a violates the noderangeerr invariant twice: it mints a
+// fresh node-range error instead of wrapping the sentinel, and it
+// compares against the sentinel with == instead of errors.Is.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNodeRange = errors.New("a: node out of range")
+
+func Check(u, n int) error {
+	if u < 0 || u >= n {
+		return fmt.Errorf("node %d out of range [0,%d)", u, n) // want `mints a fresh node-range error`
+	}
+	return nil
+}
+
+func IsRange(err error) bool {
+	return err == ErrNodeRange // want `use errors.Is\(err, ErrNodeRange\)`
+}

@@ -1,0 +1,22 @@
+// Package b satisfies the noderangeerr invariant: range failures wrap
+// the canonical sentinel and classification goes through errors.Is, so
+// wrapped errors still match.
+package b
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNodeRange = errors.New("b: node out of range")
+
+func Check(u, n int) error {
+	if u < 0 || u >= n {
+		return fmt.Errorf("%w: node %d not in [0,%d)", ErrNodeRange, u, n)
+	}
+	return nil
+}
+
+func IsRange(err error) bool {
+	return errors.Is(err, ErrNodeRange)
+}

@@ -1,0 +1,16 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"sling/internal/analysis/analysistest"
+	"sling/internal/analysis/poolpair"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, poolpair.Analyzer, "./testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, poolpair.Analyzer, "./testdata/src/b")
+}

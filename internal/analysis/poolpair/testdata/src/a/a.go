@@ -1,0 +1,24 @@
+// Package a violates the poolpair invariant: an early return sits
+// between the pool Get and its Put, leaking the scratch on that path.
+package a
+
+import "sync"
+
+type scratch struct{ buf []float64 }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+func Leaky(n int) int {
+	s := pool.Get().(*scratch) // want `Get from pool is not released on every path`
+	if n < 0 {
+		return 0
+	}
+	v := len(s.buf) + n
+	pool.Put(s)
+	return v
+}
+
+func NeverPut(n int) int {
+	s := pool.Get().(*scratch) // want `Get from pool is not released on every path`
+	return len(s.buf) + n
+}

@@ -1,0 +1,36 @@
+// Package b satisfies the poolpair invariant: every Get is released by
+// a deferred Put, a straight-line Put with no return in between, or is
+// itself a Get-in-return accessor that hands ownership to the caller.
+package b
+
+import "sync"
+
+type scratch struct{ buf []float64 }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+func Deferred(n int) int {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	if n < 0 {
+		return 0
+	}
+	return len(s.buf) + n
+}
+
+func Straight(n int) int {
+	s := pool.Get().(*scratch)
+	v := len(s.buf) + n
+	pool.Put(s)
+	return v
+}
+
+// Accessor hands the scratch to the caller, which owns the release —
+// the ScratchPool accessor pattern.
+func Accessor() *scratch {
+	return pool.Get().(*scratch)
+}
+
+func Release(s *scratch) {
+	pool.Put(s)
+}

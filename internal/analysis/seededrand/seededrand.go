@@ -1,0 +1,57 @@
+// Package seededrand forbids math/rand outside sling/internal/rng.
+//
+// Invariant: every random draw in this repository flows from a seeded
+// sling/internal/rng.Source. Index construction (Figure 5 of the paper:
+// ten byte-identical rebuilds from one seed), the dynamic layer's
+// coupled Monte Carlo estimates, workload generation, and the
+// conformance matrix all depend on bitwise-reproducible randomness —
+// and on there being exactly ONE generator, so a rebuild's byte
+// identity can never depend on which of two libraries a code path
+// happened to pick, or on math/rand's global-state sharing between
+// goroutines. Even a seeded rand.New(rand.NewSource(s)) is drift: its
+// stream differs from rng.New(s), so a path that switches generator
+// silently changes every downstream byte.
+package seededrand
+
+import (
+	"strconv"
+
+	"sling/internal/analysis/framework"
+)
+
+// rngPath is the one package allowed to touch alternative generators
+// (it implements the sanctioned one).
+const rngPath = "sling/internal/rng"
+
+// Analyzer implements the check.
+var Analyzer = &framework.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid math/rand outside internal/rng: all randomness must flow from a seeded rng.Source so index builds stay bitwise-reproducible",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if pkgAllowed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(),
+					"import of %s is forbidden outside %s: draw randomness from a seeded rng.Source (sling/internal/rng) so builds stay bitwise-reproducible", path, rngPath)
+			}
+		}
+	}
+	return nil
+}
+
+// pkgAllowed exempts the rng package itself (and its in-package
+// tests, which load as the same import path).
+func pkgAllowed(path string) bool {
+	return path == rngPath
+}

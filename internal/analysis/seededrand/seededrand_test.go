@@ -1,0 +1,16 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"sling/internal/analysis/analysistest"
+	"sling/internal/analysis/seededrand"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, seededrand.Analyzer, "./testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, seededrand.Analyzer, "./testdata/src/b")
+}

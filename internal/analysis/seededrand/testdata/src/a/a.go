@@ -1,0 +1,15 @@
+// Package a violates the seededrand invariant: it draws from the
+// global-rand packages instead of sling/internal/rng.
+package a
+
+import (
+	"math/rand"           // want `import of math/rand is forbidden outside sling/internal/rng`
+	randv2 "math/rand/v2" // want `import of math/rand/v2 is forbidden outside sling/internal/rng`
+)
+
+func Shuffled(n int) []int {
+	r := rand.New(rand.NewSource(1))
+	out := r.Perm(n)
+	out[0] = int(randv2.Uint64())
+	return out
+}

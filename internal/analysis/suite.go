@@ -1,0 +1,28 @@
+// Package analysis assembles the slingvet analyzer suite: the
+// project-specific static checks that mechanically enforce this
+// repository's determinism, cancellation, and pooling invariants.
+// cmd/slingvet drives the suite over package patterns; each analyzer
+// lives in its own subpackage with analysistest fixtures.
+package analysis
+
+import (
+	"sling/internal/analysis/ctxloop"
+	"sling/internal/analysis/floateq"
+	"sling/internal/analysis/framework"
+	"sling/internal/analysis/metriclabel"
+	"sling/internal/analysis/noderangeerr"
+	"sling/internal/analysis/poolpair"
+	"sling/internal/analysis/seededrand"
+)
+
+// Suite returns every slingvet analyzer, in stable order.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		ctxloop.Analyzer,
+		floateq.Analyzer,
+		metriclabel.Analyzer,
+		noderangeerr.Analyzer,
+		poolpair.Analyzer,
+		seededrand.Analyzer,
+	}
+}

@@ -4,9 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
+	"sling/internal/rng"
 	"strings"
 	"sync"
 	"testing"
@@ -20,7 +20,7 @@ import (
 // dir and returns its path.
 func writeGraph(t *testing.T, dir, name string, n, edges int, seed int64) string {
 	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
+	rnd := rng.New(uint64(seed))
 	var sb strings.Builder
 	sb.WriteString("# test graph\n")
 	// A ring first so every node has an edge and the node count is n.
@@ -28,7 +28,7 @@ func writeGraph(t *testing.T, dir, name string, n, edges int, seed int64) string
 		fmt.Fprintf(&sb, "%d %d\n", i, (i+1)%n)
 	}
 	for i := 0; i < edges; i++ {
-		fmt.Fprintf(&sb, "%d %d\n", rng.Intn(n), rng.Intn(n))
+		fmt.Fprintf(&sb, "%d %d\n", rnd.Intn(n), rnd.Intn(n))
 	}
 	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {

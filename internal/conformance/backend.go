@@ -271,6 +271,7 @@ func (b *httpBackend) sourceVector(entries []scoredNode, out []float64) ([]float
 	seen := make([]bool, b.n)
 	for _, e := range entries {
 		if e.Node < 0 || e.Node >= int64(b.n) || seen[e.Node] {
+			//slingvet:ignore noderangeerr backend protocol corruption, not a caller-supplied node: ErrNodeRange would misclassify it as retryable input error
 			return nil, fmt.Errorf("source entry for node %d out of range or duplicated", e.Node)
 		}
 		seen[e.Node] = true

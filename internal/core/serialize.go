@@ -256,6 +256,7 @@ func readMeta(r io.Reader, g *graph.Graph) (*Index, int64, int64, error) {
 		cnt := x.off[v+1] - x.off[v]
 		for _, rel := range x.marks[x.markOff[v]:x.markOff[v+1]] {
 			if int64(rel) < 0 || int64(rel) >= cnt {
+				//slingvet:ignore noderangeerr corrupt index file, not a caller-supplied node id; ErrNodeRange is reserved for query arguments
 				return nil, 0, 0, fmt.Errorf("core: mark %d of node %d out of range [0,%d)", rel, v, cnt)
 			}
 		}

@@ -223,3 +223,13 @@ func Collect(n int, solve func(u graph.NodeID, out []float64) []float64) *power.
 	}
 	return s
 }
+
+// ApproxEqual reports whether two scores agree to within tol, the
+// comparison the slingvet floateq analyzer steers float64 score code
+// toward: every estimator in this repository carries an additive-eps
+// guarantee (Theorem 2 of the paper), so exact ==/!= on scores encodes
+// a precision the algorithms never promised. NaN is never approximately
+// equal to anything, matching IEEE comparison semantics.
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

@@ -268,3 +268,23 @@ func TestRangeViolation(t *testing.T) {
 		t.Fatalf("low-side violation %v, want 0.3", v)
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{0.5, 0.5, 0, true},
+		{0.5, 0.5004, 1e-3, true},
+		{0.5, 0.502, 1e-3, false},
+		{0, 1e-12, 1e-9, true},
+		{math.NaN(), math.NaN(), 1, false},
+		{math.NaN(), 0, 1, false},
+		{math.Inf(1), math.Inf(1), 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

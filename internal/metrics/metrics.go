@@ -321,6 +321,7 @@ func labelString(labels []Label, extra ...Label) string {
 // fmtFloat renders a sample value the way Prometheus clients do:
 // integers without a decimal point, everything else in shortest form.
 func fmtFloat(v float64) string {
+	//slingvet:ignore floateq exact integer-valuedness test for rendering, not a score comparison; a tolerance would misprint 2.0000001 as 2
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%d", int64(v))
 	}

@@ -137,6 +137,7 @@ func (r *Source) Geometric(p float64) int {
 	if p <= 0 || p > 1 {
 		panic("rng: Geometric requires 0 < p <= 1")
 	}
+	//slingvet:ignore floateq exact sentinel check: p==1 means certain success and log1p(-p) would be -Inf
 	if p == 1 {
 		return 0
 	}

@@ -3,11 +3,11 @@ package server
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sling/internal/rng"
 	"strings"
 	"testing"
 
@@ -18,13 +18,13 @@ import (
 // writeEdgeList writes a deterministic random directed edge list.
 func writeEdgeList(t *testing.T, dir, name string, n, edges int, seed int64) string {
 	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
+	rnd := rng.New(uint64(seed))
 	var sb strings.Builder
 	for i := 0; i < n; i++ {
 		fmt.Fprintf(&sb, "%d %d\n", i, (i+1)%n)
 	}
 	for i := 0; i < edges; i++ {
-		fmt.Fprintf(&sb, "%d %d\n", rng.Intn(n), rng.Intn(n))
+		fmt.Fprintf(&sb, "%d %d\n", rnd.Intn(n), rnd.Intn(n))
 	}
 	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
