@@ -4,7 +4,7 @@
 //
 //	slingserver -graph g.txt [-undirected] [-index idx.sling] [-eps 0.025] [-addr :8080] [-batch-workers N]
 //	slingserver -graph g.txt -index idx.sling -disk [-cache-bytes N]
-//	slingserver -graph g.txt -dynamic [-rebuild-threshold N] [-dyn-walks N] [-dyn-depth N]
+//	slingserver -graph g.txt -dynamic [-rebuild-threshold N] [-dyn-walks N] [-dyn-depth N] [-durable DIR]
 //	slingserver -catalog manifest.json [-addr :8080]
 //
 // With -disk the index file stays on disk (Section 5.4): only O(n)
@@ -17,8 +17,13 @@
 // regions fall back to fresh Monte Carlo estimation (-dyn-walks walks,
 // -dyn-depth truncation), and the index rebuilds in the background after
 // every -rebuild-threshold applied ops (0 = only via POST /rebuild),
-// swapping epochs with zero query downtime. Dynamic mode always builds
-// at startup.
+// swapping epochs with zero query downtime. Dynamic mode builds at
+// startup — unless -durable DIR holds earlier state, in which case the
+// index restores from its latest snapshot plus WAL tail instead, so a
+// restart loses nothing. With -durable every applied update batch
+// journals (fsynced unless -durable-nosync) before it is acknowledged,
+// rebuild epoch swaps write snapshots, and POST /snapshot checkpoints on
+// demand.
 //
 // With -catalog the server is multi-tenant: the JSON manifest declares
 // many graphs (each memory, disk, or dynamic), lazily opened on first
@@ -37,6 +42,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -66,6 +72,8 @@ func main() {
 	rebuildThreshold := flag.Int("rebuild-threshold", 0, "applied update ops that trigger a background rebuild (0 = manual)")
 	dynWalks := flag.Int("dyn-walks", 4096, "MC walks per affected-node estimate in -dynamic mode (0 = derive the guaranteed count)")
 	dynDepth := flag.Int("dyn-depth", 0, "walk truncation depth in -dynamic mode (0 = derive from eps)")
+	durableDir := flag.String("durable", "", "durable state directory for -dynamic mode: updates journal to a WAL there, rebuilds snapshot, and restart restores instead of rebuilding")
+	durableNoSync := flag.Bool("durable-nosync", false, "skip fsync on WAL appends (faster; crash may lose the unsynced tail)")
 	catalogPath := flag.String("catalog", "", "graph-catalog manifest (JSON); serves many graphs, routing by /g/{id}/")
 	flag.Parse()
 
@@ -107,6 +115,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *durableDir != "" && !*dynamic {
+		fmt.Fprintln(os.Stderr, "slingserver: -durable requires -dynamic (only the updatable backend journals)")
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *dynamic && *undirected {
 		// POST /update applies directed ops; on a graph loaded with both
 		// directions per line a single add would silently break the
@@ -129,20 +142,39 @@ func main() {
 	var handler http.Handler
 	if *dynamic {
 		start := time.Now()
-		dx, err := sling.NewDynamic(g,
-			&sling.DynamicOptions{
-				RebuildThreshold: *rebuildThreshold,
-				NumWalks:         *dynWalks,
-				Depth:            *dynDepth,
-			},
-			sling.WithEps(*eps), sling.WithWorkers(*workers), sling.WithSeed(*seed))
+		do := &sling.DynamicOptions{
+			RebuildThreshold: *rebuildThreshold,
+			NumWalks:         *dynWalks,
+			Depth:            *dynDepth,
+			DurableDir:       *durableDir,
+			DurableNoSync:    *durableNoSync,
+		}
+		bopts := []sling.BuildOption{
+			sling.WithEps(*eps), sling.WithWorkers(*workers), sling.WithSeed(*seed),
+		}
+		var dx *sling.DynamicIndex
+		how := "built"
+		if *durableDir != "" {
+			// Restore-or-create: a populated durable directory is the
+			// authoritative state (it holds updates the edge list never
+			// saw); a fresh one starts from the edge list.
+			dx, err = sling.RestoreDynamic(do, bopts...)
+			switch {
+			case err == nil:
+				how = "restored"
+			case errors.Is(err, sling.ErrNoDurableState):
+				dx, err = sling.NewDynamic(g, do, bopts...)
+			}
+		} else {
+			dx, err = sling.NewDynamic(g, do, bopts...)
+		}
 		if err != nil {
 			log.Fatalf("building dynamic index: %v", err)
 		}
 		defer dx.Close()
 		st := dx.Stats()
-		log.Printf("dynamic index built in %v (epoch %d, %d MC walks, depth %d, rebuild threshold %d)",
-			time.Since(start).Round(time.Millisecond), st.Epoch, st.NumWalks, st.Depth, st.RebuildThreshold)
+		log.Printf("dynamic index %s in %v (epoch %d, %d MC walks, depth %d, rebuild threshold %d, durable LSN %d)",
+			how, time.Since(start).Round(time.Millisecond), st.Epoch, st.NumWalks, st.Depth, st.RebuildThreshold, st.Durable.LSN)
 		handler, err = server.NewDynamic(dx, labels, cfg)
 		if err != nil {
 			log.Fatalf("creating server: %v", err)

@@ -8,8 +8,19 @@
 //	slingtool query -graph g.txt [-undirected] -index idx.sling [-disk] u v [u v ...]
 //	slingtool source -graph g.txt [-undirected] -index idx.sling -node u [-top k]
 //	slingtool conformance [-families a,b] [-configs c:eps,...] [-n N] [-seed S] [-short] [-out BENCH_conformance.json]
+//	slingtool durable inspect|verify DIR
 //
 // Node arguments use the original labels from the edge list.
+//
+// `slingtool durable` CRC-verifies a dynamic graph's durable state
+// directory (-durable in slingserver, durable_dir in catalog manifests)
+// without opening or modifying it: every snapshot and WAL segment is
+// checksummed and the chain recovery would reconstruct is reported.
+// `inspect` prints the segment chain and snapshot set (-json for the
+// machine-readable report); `verify` prints a one-line summary. Both
+// exit non-zero when the directory holds damage recovery would refuse —
+// a torn final record is recoverable (recovery truncates it) and is
+// reported but does not fail verification.
 //
 // `slingtool conformance` runs the full differential-conformance matrix
 // (internal/conformance): every backend — in-memory, disk, out-of-core,
@@ -53,6 +64,8 @@ func main() {
 		err = cmdSource(os.Args[2:])
 	case "conformance":
 		err = cmdConformance(os.Args[2:])
+	case "durable":
+		err = cmdDurable(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -72,7 +85,9 @@ func usage() {
   slingtool stats  -graph g.txt [-undirected] -index idx.sling
   slingtool query  -graph g.txt [-undirected] -index idx.sling [-disk] u v [u v ...]
   slingtool source -graph g.txt [-undirected] -index idx.sling -node u [-top k]
-  slingtool conformance [-families a,b] [-configs c:eps,...] [-n N] [-seed S] [-short] [-out bench.json]`)
+  slingtool conformance [-families a,b] [-configs c:eps,...] [-n N] [-seed S] [-short] [-out bench.json]
+  slingtool durable inspect [-json] DIR
+  slingtool durable verify DIR`)
 }
 
 // loadGraph parses the shared -graph/-undirected flags' target.

@@ -306,13 +306,26 @@ func (e *entry) open() (sling.Querier, *sling.DynamicIndex, []int64, error) {
 		}
 		return di, nil, labels, nil
 	case "dynamic":
-		dx, err := sling.NewDynamic(g, &sling.DynamicOptions{
+		do := &sling.DynamicOptions{
 			RebuildThreshold: spec.RebuildThreshold,
 			NumWalks:         spec.Walks,
 			Depth:            spec.Depth,
 			Workers:          spec.Workers,
 			Seed:             spec.Seed,
-		}, opts...)
+			DurableDir:       spec.DurableDir,
+		}
+		var dx *sling.DynamicIndex
+		if spec.DurableDir != "" {
+			// Restore-or-create: an already-populated durable directory is
+			// the authoritative state (it may hold updates the edge list
+			// never saw); a fresh one starts from the edge list.
+			dx, err = sling.RestoreDynamic(do, opts...)
+			if errors.Is(err, sling.ErrNoDurableState) {
+				dx, err = sling.NewDynamic(g, do, opts...)
+			}
+		} else {
+			dx, err = sling.NewDynamic(g, do, opts...)
+		}
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("catalog: graph %q: %w", spec.ID, err)
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sling/internal/rng"
@@ -271,6 +272,54 @@ func TestDynamicEntriesPinned(t *testing.T) {
 	}
 }
 
+// A dynamic entry with durable_dir journals updates; a later catalog on
+// the same manifest must restore them — the durable directory, not the
+// edge list, is the authoritative state after the first open.
+func TestDurableDirRestoresAcrossCatalogs(t *testing.T) {
+	dir := t.TempDir()
+	m := Manifest{Graphs: []GraphSpec{{
+		ID: "dyn", Graph: writeGraph(t, dir, "d.txt", 16, 30, 5),
+		Mode: "dynamic", Eps: 0.15, Seed: 21,
+		DurableDir: filepath.Join(dir, "durable"),
+	}}}
+
+	c, err := New(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := acquire(t, c, "dyn")
+	dx := h.Dynamic()
+	if _, n, err := dx.Apply([]sling.EdgeOp{{Add: true, From: 3, To: 11}}); err != nil || n != 1 {
+		t.Fatalf("apply: n=%d err=%v", n, err)
+	}
+	wantEdges := dx.Graph().NumEdges()
+	want, err := dx.SimRank(context.Background(), 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	c.Close()
+
+	c2, err := New(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	h2 := acquire(t, c2, "dyn")
+	defer h2.Release()
+	dx2 := h2.Dynamic()
+	if got := dx2.Graph().NumEdges(); got != wantEdges {
+		t.Fatalf("restored graph has %d edges, want %d (journaled add lost)", got, wantEdges)
+	}
+	got, err := dx2.SimRank(context.Background(), 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("restored SimRank(3,11) = %v, want bitwise %v", got, want)
+	}
+}
+
 // TestConcurrentAcquireQueryEvict hammers open/query/release across all
 // graphs under a budget that fits roughly one, so opens, evictions, and
 // queries continuously interleave. Run with -race.
@@ -405,6 +454,7 @@ func TestManifestValidate(t *testing.T) {
 		{"disk no index", Manifest{Graphs: []GraphSpec{{ID: "g", Graph: "x", Mode: "disk"}}}},
 		{"bad mode", Manifest{Graphs: []GraphSpec{{ID: "g", Graph: "x", Mode: "turbo"}}}},
 		{"dynamic undirected", Manifest{Graphs: []GraphSpec{{ID: "g", Graph: "x", Mode: "dynamic", Undirected: true}}}},
+		{"durable non-dynamic", Manifest{Graphs: []GraphSpec{{ID: "g", Graph: "x", DurableDir: "d"}}}},
 		{"bad default", Manifest{Graphs: []GraphSpec{base}, Default: "zzz"}},
 		{"neg quota", Manifest{Graphs: []GraphSpec{{ID: "g", Graph: "x", MaxQPS: -1}}}},
 		{"neg budget", Manifest{Graphs: []GraphSpec{base}, MemoryBudgetBytes: -1}},

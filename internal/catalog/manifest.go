@@ -38,6 +38,11 @@ type GraphSpec struct {
 	RebuildThreshold int `json:"rebuild_threshold,omitempty"`
 	Walks            int `json:"walks,omitempty"`
 	Depth            int `json:"depth,omitempty"`
+	// DurableDir enables durable storage for a dynamic graph: updates
+	// journal to a WAL under this directory and rebuilds snapshot there.
+	// When the directory already holds state, opening restores from it
+	// instead of rebuilding from the edge list. Dynamic mode only.
+	DurableDir string `json:"durable_dir,omitempty"`
 
 	// MaxQPS is the per-graph operation quota (token bucket, one token
 	// per query operation; a /batch of N ops costs N tokens). 0 means
@@ -111,6 +116,9 @@ func (m *Manifest) Validate() error {
 		default:
 			return fmt.Errorf("catalog: graph %q: unknown mode %q (want memory|disk|dynamic)", s.ID, s.Mode)
 		}
+		if s.DurableDir != "" && s.mode() != "dynamic" {
+			return fmt.Errorf("catalog: graph %q: durable_dir requires dynamic mode", s.ID)
+		}
 		if s.Mode == "dynamic" && s.Undirected {
 			// Same invariant slingserver enforces: directed updates on a
 			// both-directions-per-line graph would silently break it.
@@ -170,6 +178,7 @@ func LoadManifest(path string) (Manifest, error) {
 	for i := range m.Graphs {
 		m.Graphs[i].Graph = resolve(dir, m.Graphs[i].Graph)
 		m.Graphs[i].Index = resolve(dir, m.Graphs[i].Index)
+		m.Graphs[i].DurableDir = resolve(dir, m.Graphs[i].DurableDir)
 	}
 	return m, nil
 }

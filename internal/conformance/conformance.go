@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -447,17 +449,21 @@ func sameScored(a, b []sling.Scored) bool {
 // mutated graph (ε holds through the Monte Carlo fallback), then a
 // rebuild swaps the epoch and the rebuilt index is checked bitwise
 // against a clamped fresh build — plus the HTTP dynamic mode when
-// enabled.
+// enabled. The instance is durably backed, and both phases gain a
+// restored twin (snapshot + WAL-tail replay from the same directory)
+// that must answer bitwise-identically to the live index.
 func dynamicCells(o Options, fam workload.Family, cfg Config, g *sling.Graph,
 	opt *sling.Options) ([]Cell, error) {
 
+	durDir := filepath.Join(o.Dir, fmt.Sprintf("durable-%s-%s", fam.Name, cfg))
 	dx, buildMS, err := timed(func() (*sling.DynamicIndex, error) {
-		return sling.NewDynamic(g, nil, sling.WithOptions(*opt))
+		return sling.NewDynamic(g, &sling.DynamicOptions{DurableDir: durDir}, sling.WithOptions(*opt))
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dynamic build: %w", err)
 	}
 	defer dx.Close()
+	defer os.RemoveAll(durDir)
 
 	// Deterministic update mix keyed on (seed, family, config): fresh
 	// adds plus removes of existing edges.
@@ -496,10 +502,15 @@ func dynamicCells(o Options, fam workload.Family, cfg Config, g *sling.Graph,
 	staleCell.BuildMS = buildMS
 	cells := []Cell{staleCell}
 
+	// Restore from the durable directory while the update mix is still a
+	// pure WAL tail (initial snapshot + replayed records) and require
+	// bitwise-identical answers from the restored twin.
+	cells = append(cells, restoredCell(o, fam, cfg, dx, durDir, opt))
+
 	// Rebuild and compare bitwise against a clamped fresh build of the
 	// mutated graph.
 	rebuildStart := time.Now()
-	if err := dx.Rebuild(); err != nil {
+	if _, err := dx.Rebuild(); err != nil {
 		return nil, fmt.Errorf("rebuild: %w", err)
 	}
 	rebuildMS := float64(time.Since(rebuildStart).Nanoseconds()) / 1e6
@@ -513,6 +524,22 @@ func dynamicCells(o Options, fam workload.Family, cfg Config, g *sling.Graph,
 	dynRes.cell.BuildMS = rebuildMS
 	cells = append(cells, dynRes.cell)
 
+	// The swap wrote a snapshot; a post-rebuild restore runs the full
+	// evaluation with the rebuilt index as its bitwise reference.
+	restored, restoreMS, err := timed(func() (*sling.DynamicIndex, error) {
+		return sling.RestoreDynamic(
+			&sling.DynamicOptions{DurableDir: durDir, DurableReadOnly: true},
+			sling.WithOptions(*opt))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("restore after rebuild: %w", err)
+	}
+	restRes := evaluate(o, fam, cfg, mutated, truth,
+		NamedBackend(restored, "dynamic-restored"), dynRes)
+	restRes.cell.BuildMS = restoreMS
+	restored.Close()
+	cells = append(cells, restRes.cell)
+
 	if o.HTTP {
 		srv, err := server.NewDynamic(dx, nil, server.Config{})
 		if err != nil {
@@ -523,6 +550,132 @@ func dynamicCells(o Options, fam workload.Family, cfg Config, g *sling.Graph,
 		cells = append(cells, httpRes.cell)
 	}
 	return cells, nil
+}
+
+// restoredCell restores a read-only twin from durDir mid-run — while
+// the directory holds the initial snapshot plus the whole update mix as
+// a WAL tail — and requires a sampled set of answers (affected-source
+// rows, top-k, pairs, and a batch) to be bitwise-identical to the live
+// instance's. Stale-phase answers route through the Monte Carlo
+// fallback, so equality here proves the restored frontier, pool
+// seeding, and graph all match exactly.
+func restoredCell(o Options, fam workload.Family, cfg Config,
+	dx *sling.DynamicIndex, durDir string, opt *sling.Options) Cell {
+
+	cell := Cell{
+		Family: fam.Name, Backend: "dynamic-restored-stale",
+		N: dx.NumNodes(), M: dx.Graph().NumEdges(), C: cfg.C, Eps: cfg.Eps,
+		BitwiseRef: "dynamic-stale", BitwiseOK: true,
+		Violations: []string{},
+	}
+	fail := func(format string, args ...interface{}) {
+		cell.BitwiseOK = false
+		if len(cell.Violations) < 8 {
+			cell.Violations = append(cell.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+	done := func() Cell {
+		// The cell measures equality, not accuracy: its answers are the
+		// reference's bit for bit, so it inherits that cell's error and
+		// contributes only nominal headroom to the report minimum.
+		cell.Headroom = cfg.Eps - cell.MaxErr
+		cell.Pass = len(cell.Violations) == 0
+		return cell
+	}
+	restored, restoreMS, err := timed(func() (*sling.DynamicIndex, error) {
+		return sling.RestoreDynamic(
+			&sling.DynamicOptions{DurableDir: durDir, DurableReadOnly: true},
+			sling.WithOptions(*opt))
+	})
+	cell.BuildMS = restoreMS
+	if err != nil {
+		fail("restore: %v", err)
+		return done()
+	}
+	defer restored.Close()
+	if got, want := restored.Graph().NumEdges(), dx.Graph().NumEdges(); got != want {
+		fail("restored graph has %d edges, live has %d", got, want)
+		return done()
+	}
+
+	ctx := context.Background()
+	qstart := time.Now()
+	aff := dx.AffectedNodes()
+	sources := aff
+	if len(sources) > 4 {
+		sources = sources[:4]
+	}
+	for _, u := range sources {
+		want, err := dx.SingleSource(ctx, u, nil)
+		if err != nil {
+			fail("live source(%d): %v", u, err)
+			return done()
+		}
+		got, err := restored.SingleSource(ctx, u, nil)
+		if err != nil {
+			fail("restored source(%d): %v", u, err)
+			return done()
+		}
+		cell.Queries++
+		if !sameRows(got, want) {
+			fail("restored source(%d) differs bitwise", u)
+		}
+		wantTK, err := dx.TopK(ctx, u, o.K)
+		if err != nil {
+			fail("live topk(%d): %v", u, err)
+			return done()
+		}
+		gotTK, err := restored.TopK(ctx, u, o.K)
+		if err != nil {
+			fail("restored topk(%d): %v", u, err)
+			return done()
+		}
+		cell.Queries++
+		if !sameScored(gotTK, wantTK) {
+			fail("restored topk(%d) differs bitwise", u)
+		}
+	}
+	if len(sources) > 0 {
+		wantB, err1 := dx.SingleSourceBatch(ctx, sources)
+		gotB, err2 := restored.SingleSourceBatch(ctx, sources)
+		if err1 != nil || err2 != nil {
+			fail("batch: live err %v, restored err %v", err1, err2)
+			return done()
+		}
+		cell.Queries += len(sources)
+		for i := range sources {
+			if !sameRows(gotB[i], wantB[i]) {
+				fail("restored batch row for source %d differs bitwise", sources[i])
+				break
+			}
+		}
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "restored|%s|%s|%d", fam.Name, cfg, o.Seed)
+	r := rng.New(h.Sum64())
+	n := dx.NumNodes()
+	for q := 0; q < 24 && len(aff) > 0; q++ {
+		u := aff[r.Intn(len(aff))]
+		v := sling.NodeID(r.Intn(n))
+		want, err := dx.SimRank(ctx, u, v)
+		if err != nil {
+			fail("live simrank(%d,%d): %v", u, v, err)
+			return done()
+		}
+		got, err := restored.SimRank(ctx, u, v)
+		if err != nil {
+			fail("restored simrank(%d,%d): %v", u, v, err)
+			return done()
+		}
+		cell.Queries++
+		if math.Float64bits(got) != math.Float64bits(want) {
+			fail("restored simrank(%d,%d) differs bitwise", u, v)
+		}
+	}
+	if cell.Queries > 0 {
+		cell.AvgQueryUS = float64(time.Since(qstart).Nanoseconds()) / 1e3 / float64(cell.Queries)
+	}
+	return done()
 }
 
 // evaluateStale checks the pre-rebuild phase: answers touching the

@@ -56,6 +56,7 @@ func TestMatrix(t *testing.T) {
 	// every (family, config) cell.
 	wantBackends := []string{
 		"memory", "disk", "ooc", "dynamic-stale", "dynamic-rebuilt",
+		"dynamic-restored-stale", "dynamic-restored",
 		"http-memory", "http-disk", "http-dynamic",
 	}
 	sort.Strings(wantBackends)

@@ -1,0 +1,155 @@
+// Package durable persists the dynamic tier's mutable state: a
+// CRC32-checked, versioned, length-prefixed write-ahead log of edge
+// operations plus atomic point-in-time snapshots, so a restarted process
+// can rebuild exactly the state it acknowledged before dying.
+//
+// On-disk layout (all integers little-endian):
+//
+//	DIR/
+//	  wal-%016x.slwal        WAL segment; the hex field is the LSN of the
+//	                         segment's first record
+//	  snap-%016x-%016x.slsnap  snapshot; fields are (sequence, LSN covered)
+//
+// A WAL segment starts with a 16-byte header — magic "SLWL", u32 format
+// version, u64 first-LSN — followed by records. Each record is
+//
+//	u32 payload length | u32 CRC-32C of payload | payload
+//	payload = u64 LSN | u32 op count | ops (u8 add, u32 from, u32 to)
+//
+// LSNs are per-batch and strictly sequential across the segment chain.
+// Appends are fsynced by default (Options.NoSync trades the tail for
+// throughput). A snapshot is written to a .tmp file, fsynced, and renamed
+// into place, so a crash never leaves a half-written snapshot visible;
+// after a snapshot the log rotates and prunes segments older snapshots
+// have made redundant (the last two snapshots are retained).
+//
+// Recovery (Open) picks the newest snapshot whose CRC verifies and
+// replays the WAL records with LSN beyond it. A torn or corrupt record at
+// the tail of the last segment is truncated at the last valid record;
+// corruption anywhere it could hide acknowledged records — mid-segment,
+// or in a non-final segment — is a hard error, never silently skipped.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	walMagic  = "SLWL"
+	snapMagic = "SLSN"
+	// formatVersion is shared by segments and snapshots; readers reject
+	// anything newer than they understand.
+	formatVersion = 1
+
+	segHeaderSize = 16
+	recHeaderSize = 8 // u32 length + u32 CRC
+	opSize        = 9 // u8 add + u32 from + u32 to
+
+	// maxRecordPayload bounds one record (~7.4M ops) so a corrupt length
+	// field cannot drive a giant allocation.
+	maxRecordPayload = 1 << 26
+
+	// DefaultSegmentBytes rotates segments at 8 MiB.
+	DefaultSegmentBytes = 8 << 20
+
+	// snapshotsRetained keeps this many snapshots on disk; WAL segments
+	// fully covered by the oldest retained snapshot are pruned.
+	snapshotsRetained = 2
+)
+
+// crcTable is CRC-32C (Castagnoli), the polynomial with hardware support
+// on current CPUs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	// ErrCorrupt wraps every integrity failure recovery refuses to repair
+	// (mid-log corruption, LSN gaps, snapshot/WAL disagreement).
+	ErrCorrupt = errors.New("durable: corrupt state")
+	// ErrClosed is returned by operations on a closed Log.
+	ErrClosed = errors.New("durable: log closed")
+	// ErrReadOnly is returned by Append and WriteSnapshot on a Log opened
+	// with Options.ReadOnly.
+	ErrReadOnly = errors.New("durable: log is read-only")
+	// ErrInjectedFault is the error surfaced when Options.FailAfterBytes
+	// cuts a write short (tests only).
+	ErrInjectedFault = errors.New("durable: injected write fault")
+)
+
+// Op is one journaled edge mutation.
+type Op struct {
+	Add      bool
+	From, To int32
+}
+
+// Record is one WAL entry: the ops of a single applied batch under one
+// LSN.
+type Record struct {
+	LSN uint64
+	Ops []Op
+}
+
+// Edge is a directed edge in a snapshot's edge sections.
+type Edge struct {
+	From, To int32
+}
+
+// Snapshot is the durable point-in-time state of a dynamic index. Index
+// holds the serving epoch's serialized bytes (the SLIX format — opaque to
+// this package); BaseNodes/BaseEdges the graph that index was built from;
+// Edges the full mutated edge set; Pending the applied ops the index does
+// not yet reflect (the staleness frontier's source of truth).
+type Snapshot struct {
+	Epoch    uint64
+	LSN      uint64 // last LSN this snapshot covers; filled by WriteSnapshot
+	TotalOps uint64
+
+	BaseNodes int
+	BaseEdges []Edge
+	Index     []byte
+	Edges     []Edge
+	Pending   []Op
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir holds all WAL segments and snapshots; created if missing.
+	Dir string
+	// SegmentBytes rotates the active segment once it reaches this size.
+	// 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+	// NoSync skips the fsync after each append. A crash may then lose the
+	// most recent acknowledged batches (they become a torn tail recovery
+	// truncates); snapshots are always synced.
+	NoSync bool
+	// ReadOnly opens for inspection and restore without touching the
+	// files: no truncation repair, no tmp cleanup, no appends.
+	ReadOnly bool
+	// FailAfterBytes, when positive, injects a write fault: once this many
+	// record bytes have been appended in-process, the write that crosses
+	// the boundary is cut short mid-record and the log fails permanently
+	// with ErrInjectedFault — simulating a crash with a torn tail. Tests
+	// only.
+	FailAfterBytes int64
+}
+
+func (o *Options) withDefaults() Options {
+	r := *o
+	if r.SegmentBytes <= 0 {
+		r.SegmentBytes = DefaultSegmentBytes
+	}
+	return r
+}
+
+func corruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.slwal", firstLSN)
+}
+
+func snapshotName(seq, lsn uint64) string {
+	return fmt.Sprintf("snap-%016x-%016x.slsnap", seq, lsn)
+}

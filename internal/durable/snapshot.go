@@ -1,0 +1,262 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file layout (after the magic/version prologue, all integers
+// little-endian, one trailing CRC-32C over everything before it):
+//
+//	"SLSN" | u32 version | u64 epoch | u64 lsn | u64 totalOps
+//	u32 baseNodes | u32 reserved
+//	u64 nBase | nBase × (u32 from, u32 to)
+//	u64 indexLen | indexLen bytes (opaque SLIX payload)
+//	u64 nEdges | nEdges × (u32 from, u32 to)
+//	u64 nPending | nPending × (u8 add, u32 from, u32 to)
+//	u32 crc
+const snapPrologue = 4 + 4 + 8 + 8 + 8 + 4 + 4
+
+// WriteSnapshot persists s atomically: the file is assembled under a .tmp
+// name, fsynced, and renamed into place, then superseded snapshots and
+// the WAL segments they make redundant are pruned. s.LSN is filled from
+// the log's last acknowledged LSN — the caller must hold its own state
+// stable (no concurrent Append) across the call. The log also rotates so
+// pruning always has a clean segment boundary to cut at.
+func (l *Log) WriteSnapshot(s *Snapshot) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return ErrClosed
+	case l.opt.ReadOnly:
+		return ErrReadOnly
+	}
+	s.LSN = l.lastLSN
+	seq := uint64(1)
+	if n := len(l.snaps); n > 0 {
+		seq = l.snaps[n-1].seq + 1
+	}
+	name := snapshotName(seq, s.LSN)
+	path := filepath.Join(l.dir, name)
+	tmp := path + ".tmp"
+	if err := writeSnapshotFile(tmp, s); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.snaps = append(l.snaps, snapMeta{name: name, seq: seq, lsn: s.LSN})
+	l.snapshots++
+
+	// Rotate so every record ≤ s.LSN lives in now-frozen segments; a
+	// future snapshot can then prune them whole.
+	if l.active != nil && l.segBytes > segHeaderSize {
+		if err := l.rotateLocked(l.lastLSN + 1); err != nil {
+			return err
+		}
+	}
+	l.pruneLocked()
+	return nil
+}
+
+// pruneLocked drops snapshots beyond the retention window and WAL
+// segments every retained snapshot has fully covered. Deletion failures
+// are ignored — stale files are re-pruned on the next snapshot or Open.
+// Caller holds mu.
+func (l *Log) pruneLocked() {
+	if n := len(l.snaps); n > snapshotsRetained {
+		for _, sm := range l.snaps[:n-snapshotsRetained] {
+			os.Remove(filepath.Join(l.dir, sm.name))
+		}
+		l.snaps = append([]snapMeta(nil), l.snaps[n-snapshotsRetained:]...)
+	}
+	if len(l.snaps) == 0 {
+		return
+	}
+	cutoff := l.snaps[0].lsn // oldest retained snapshot
+	keep := l.segs[:0]
+	for i := range l.segs {
+		seg := l.segs[i]
+		// The active (final) segment is never removed; an earlier segment
+		// goes once its whole record range is at or below the cutoff.
+		if i == len(l.segs)-1 || seg.lastLSN > cutoff || seg.lastLSN < seg.firstLSN {
+			keep = append(keep, seg)
+			continue
+		}
+		os.Remove(filepath.Join(l.dir, seg.name))
+	}
+	l.segs = keep
+}
+
+// writeSnapshotFile encodes s to path (no rename; the caller owns
+// atomicity) and fsyncs it.
+func writeSnapshotFile(path string, s *Snapshot) error {
+	if s.BaseNodes < 0 || s.BaseNodes > math.MaxUint32 {
+		return fmt.Errorf("durable: snapshot base node count %d exceeds uint32", s.BaseNodes)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	buf := encodeSnapshot(s)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func encodeSnapshot(s *Snapshot) []byte {
+	size := snapPrologue +
+		8 + len(s.BaseEdges)*8 +
+		8 + len(s.Index) +
+		8 + len(s.Edges)*8 +
+		8 + len(s.Pending)*opSize +
+		4
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, s.LSN)
+	buf = binary.LittleEndian.AppendUint64(buf, s.TotalOps)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.BaseNodes))
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // reserved
+
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.BaseEdges)))
+	for _, e := range s.BaseEdges {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.From))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.To))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.Index)))
+	buf = append(buf, s.Index...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.Edges)))
+	for _, e := range s.Edges {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.From))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.To))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.Pending)))
+	for _, op := range s.Pending {
+		b := byte(0)
+		if op.Add {
+			b = 1
+		}
+		buf = append(buf, b)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(op.From))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(op.To))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+	return buf
+}
+
+// readSnapshotFile loads and verifies one snapshot file.
+func readSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSnapshot(data)
+}
+
+func decodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < snapPrologue+4*8+4 {
+		return nil, corruptf("snapshot too short (%d bytes)", len(data))
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if binary.LittleEndian.Uint32(crcBytes) != crc32.Checksum(body, crcTable) {
+		return nil, corruptf("snapshot checksum mismatch")
+	}
+	if string(body[:4]) != snapMagic {
+		return nil, corruptf("snapshot bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(body[4:8]); v != formatVersion {
+		return nil, corruptf("snapshot unsupported format version %d", v)
+	}
+	s := &Snapshot{
+		Epoch:     binary.LittleEndian.Uint64(body[8:16]),
+		LSN:       binary.LittleEndian.Uint64(body[16:24]),
+		TotalOps:  binary.LittleEndian.Uint64(body[24:32]),
+		BaseNodes: int(binary.LittleEndian.Uint32(body[32:36])),
+	}
+	rest := body[snapPrologue:]
+
+	// Section lengths are validated against the remaining bytes before
+	// any allocation, so the CRC-verified body can still never drive an
+	// oversized make.
+	takeCount := func(elem int) (int, error) {
+		if len(rest) < 8 {
+			return 0, corruptf("snapshot section header truncated")
+		}
+		n := binary.LittleEndian.Uint64(rest[:8])
+		rest = rest[8:]
+		if n > uint64(len(rest))/uint64(elem) {
+			return 0, corruptf("snapshot section count %d exceeds remaining bytes", n)
+		}
+		return int(n), nil
+	}
+
+	nBase, err := takeCount(8)
+	if err != nil {
+		return nil, err
+	}
+	s.BaseEdges = make([]Edge, nBase)
+	for i := range s.BaseEdges {
+		s.BaseEdges[i] = Edge{
+			From: int32(binary.LittleEndian.Uint32(rest[i*8:])),
+			To:   int32(binary.LittleEndian.Uint32(rest[i*8+4:])),
+		}
+	}
+	rest = rest[nBase*8:]
+
+	nIndex, err := takeCount(1)
+	if err != nil {
+		return nil, err
+	}
+	s.Index = append([]byte(nil), rest[:nIndex]...)
+	rest = rest[nIndex:]
+
+	nEdges, err := takeCount(8)
+	if err != nil {
+		return nil, err
+	}
+	s.Edges = make([]Edge, nEdges)
+	for i := range s.Edges {
+		s.Edges[i] = Edge{
+			From: int32(binary.LittleEndian.Uint32(rest[i*8:])),
+			To:   int32(binary.LittleEndian.Uint32(rest[i*8+4:])),
+		}
+	}
+	rest = rest[nEdges*8:]
+
+	nPending, err := takeCount(opSize)
+	if err != nil {
+		return nil, err
+	}
+	s.Pending = make([]Op, nPending)
+	for i := range s.Pending {
+		o := rest[i*opSize:]
+		s.Pending[i] = Op{
+			Add:  o[0] != 0,
+			From: int32(binary.LittleEndian.Uint32(o[1:5])),
+			To:   int32(binary.LittleEndian.Uint32(o[5:9])),
+		}
+	}
+	rest = rest[nPending*opSize:]
+	if len(rest) != 0 {
+		return nil, corruptf("snapshot has %d trailing bytes", len(rest))
+	}
+	return s, nil
+}

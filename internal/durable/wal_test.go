@@ -1,0 +1,500 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// anchor writes the minimal snapshot a fresh log needs before records can
+// be recovered against it (the dynamic layer does the same at New).
+func anchor(t *testing.T, l *Log) {
+	t.Helper()
+	if err := l.WriteSnapshot(&Snapshot{Epoch: 1, Index: []byte("idx")}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+}
+
+func mustOpen(t *testing.T, o Options) *Log {
+	t.Helper()
+	l, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open(%+v): %v", o, err)
+	}
+	return l
+}
+
+func batch(i int) []Op {
+	return []Op{
+		{Add: true, From: int32(i), To: int32(i + 1)},
+		{Add: false, From: int32(i + 1), To: int32(i)},
+	}
+}
+
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.slwal"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no WAL segments in %s (err %v)", dir, err)
+	}
+	return matches[len(matches)-1]
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	anchor(t, l)
+	var want []Record
+	for i := 0; i < 5; i++ {
+		ops := batch(i)
+		lsn, err := l.Append(ops)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("Append %d: lsn %d, want %d", i, lsn, i+1)
+		}
+		want = append(want, Record{LSN: lsn, Ops: ops})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := mustOpen(t, Options{Dir: dir})
+	defer r.Close()
+	if r.Snapshot() == nil || r.Snapshot().Epoch != 1 || string(r.Snapshot().Index) != "idx" {
+		t.Fatalf("recovered snapshot %+v", r.Snapshot())
+	}
+	if !reflect.DeepEqual(r.Tail(), want) {
+		t.Fatalf("recovered tail %+v, want %+v", r.Tail(), want)
+	}
+	if r.LastLSN() != 5 {
+		t.Fatalf("LastLSN %d, want 5", r.LastLSN())
+	}
+	if lsn, err := r.Append(batch(9)); err != nil || lsn != 6 {
+		t.Fatalf("append after recovery: lsn %d err %v", lsn, err)
+	}
+}
+
+func TestSnapshotRoundTripAllSections(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	s := &Snapshot{
+		Epoch:     7,
+		TotalOps:  42,
+		BaseNodes: 10,
+		BaseEdges: []Edge{{0, 1}, {2, 3}},
+		Index:     []byte{0xde, 0xad, 0xbe, 0xef},
+		Edges:     []Edge{{0, 1}, {4, 5}},
+		Pending:   []Op{{Add: true, From: 4, To: 5}, {Add: false, From: 2, To: 3}},
+	}
+	if err := l.WriteSnapshot(s); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	l.Close()
+
+	r := mustOpen(t, Options{Dir: dir})
+	defer r.Close()
+	if !reflect.DeepEqual(r.Snapshot(), s) {
+		t.Fatalf("snapshot round trip:\n got %+v\nwant %+v", r.Snapshot(), s)
+	}
+	if len(r.Tail()) != 0 {
+		t.Fatalf("unexpected tail %+v", r.Tail())
+	}
+}
+
+func TestSegmentRotationPreservesChain(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation roughly every record.
+	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 64})
+	anchor(t, l)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(batch(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", st.Segments)
+	}
+	l.Close()
+
+	r := mustOpen(t, Options{Dir: dir, SegmentBytes: 64})
+	defer r.Close()
+	if got := len(r.Tail()); got != 10 {
+		t.Fatalf("recovered %d records across segments, want 10", got)
+	}
+	for i, rec := range r.Tail() {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("tail[%d].LSN = %d", i, rec.LSN)
+		}
+	}
+}
+
+func TestTornTailTruncatedAtLastValidRecord(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	anchor(t, l)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(batch(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+
+	// Tear the final record mid-payload, as a crash mid-write would.
+	seg := lastSegment(t, dir)
+	st, _ := os.Stat(seg)
+	if err := os.Truncate(seg, st.Size()-5); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	r := mustOpen(t, Options{Dir: dir})
+	if got := len(r.Tail()); got != 2 {
+		t.Fatalf("tail after torn write: %d records, want 2", got)
+	}
+	if r.LastLSN() != 2 {
+		t.Fatalf("LastLSN %d, want 2", r.LastLSN())
+	}
+	// The file was physically repaired: LSN 3 is reusable and a second
+	// recovery sees a clean chain.
+	if lsn, err := r.Append(batch(7)); err != nil || lsn != 3 {
+		t.Fatalf("append after truncation: lsn %d err %v", lsn, err)
+	}
+	r.Close()
+	r2 := mustOpen(t, Options{Dir: dir})
+	defer r2.Close()
+	if got := len(r2.Tail()); got != 3 {
+		t.Fatalf("tail after repair+append: %d records, want 3", got)
+	}
+}
+
+func TestBitFlippedFinalRecordDropped(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	anchor(t, l)
+	for i := 0; i < 2; i++ {
+		if _, err := l.Append(batch(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+
+	seg := lastSegment(t, dir)
+	data, _ := os.ReadFile(seg)
+	data[len(data)-3] ^= 0x40 // corrupt the last record's payload
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+
+	r := mustOpen(t, Options{Dir: dir})
+	defer r.Close()
+	if got := len(r.Tail()); got != 1 {
+		t.Fatalf("tail after bit flip: %d records, want 1", got)
+	}
+}
+
+func TestMidLogCorruptionRefused(t *testing.T) {
+	t.Run("earlier segment", func(t *testing.T) {
+		dir := t.TempDir()
+		l := mustOpen(t, Options{Dir: dir, SegmentBytes: 64})
+		anchor(t, l)
+		for i := 0; i < 6; i++ {
+			if _, err := l.Append(batch(i)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		l.Close()
+		matches, _ := filepath.Glob(filepath.Join(dir, "wal-*.slwal"))
+		if len(matches) < 2 {
+			t.Fatalf("need ≥2 segments, got %d", len(matches))
+		}
+		data, _ := os.ReadFile(matches[0])
+		data[len(data)-1] ^= 0x01
+		os.WriteFile(matches[0], data, 0o644)
+
+		if _, err := Open(Options{Dir: dir, SegmentBytes: 64}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Open with mid-chain corruption: %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("valid records after damage", func(t *testing.T) {
+		dir := t.TempDir()
+		l := mustOpen(t, Options{Dir: dir})
+		anchor(t, l)
+		var offs []int64
+		for i := 0; i < 3; i++ {
+			before := l.Stats().WALBytes
+			if _, err := l.Append(batch(i)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			offs = append(offs, before)
+		}
+		l.Close()
+		// Damage the middle record's payload: the final record stays
+		// intact, so truncation would drop acknowledged data.
+		seg := lastSegment(t, dir)
+		data, _ := os.ReadFile(seg)
+		data[offs[1]+recHeaderSize+2] ^= 0x80
+		os.WriteFile(seg, data, 0o644)
+
+		if _, err := Open(Options{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Open with mid-segment damage: %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestInjectedFaultLeavesRecoverableTornTail(t *testing.T) {
+	dir := t.TempDir()
+	probe := mustOpen(t, Options{Dir: dir})
+	anchor(t, probe)
+	// The first append also pays the segment header, so measure the
+	// per-record cost from the second.
+	if _, err := probe.Append(batch(0)); err != nil {
+		t.Fatalf("probe append: %v", err)
+	}
+	recBytes := func() int64 {
+		before := probe.Stats().WALBytes
+		if _, err := probe.Append(batch(1)); err != nil {
+			t.Fatalf("probe append: %v", err)
+		}
+		return probe.Stats().WALBytes - before
+	}()
+	probe.Close()
+	os.RemoveAll(dir)
+
+	dir = t.TempDir()
+	// The fault trips mid-way through the third record.
+	l := mustOpen(t, Options{Dir: dir, FailAfterBytes: 2*recBytes + recBytes/2})
+	anchor(t, l)
+	acked := 0
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(batch(i)); err != nil {
+			if !errors.Is(err, ErrInjectedFault) {
+				t.Fatalf("Append %d: %v", i, err)
+			}
+			break
+		}
+		acked++
+	}
+	if acked != 2 {
+		t.Fatalf("acknowledged %d appends before fault, want 2", acked)
+	}
+	// The log is poisoned after the fault.
+	if _, err := l.Append(batch(99)); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("append after fault: %v, want sticky ErrInjectedFault", err)
+	}
+	l.Close()
+
+	r := mustOpen(t, Options{Dir: dir})
+	defer r.Close()
+	if got := len(r.Tail()); got != acked {
+		t.Fatalf("recovered %d records, want the %d acknowledged", got, acked)
+	}
+}
+
+func TestSnapshotRetentionAndSegmentPruning(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 64})
+	anchor(t, l)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 4; i++ {
+			if _, err := l.Append(batch(round*4 + i)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		if err := l.WriteSnapshot(&Snapshot{Epoch: uint64(round + 2), Index: []byte("idx")}); err != nil {
+			t.Fatalf("WriteSnapshot: %v", err)
+		}
+	}
+	st := l.Stats()
+	if st.Snapshots != snapshotsRetained {
+		t.Fatalf("retained %d snapshots, want %d", st.Snapshots, snapshotsRetained)
+	}
+	if st.LastSnapshotLSN != 12 {
+		t.Fatalf("last snapshot LSN %d, want 12", st.LastSnapshotLSN)
+	}
+	l.Close()
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.slsnap"))
+	if len(snaps) != snapshotsRetained {
+		t.Fatalf("%d snapshot files on disk, want %d", len(snaps), snapshotsRetained)
+	}
+	// Segments fully covered by the older retained snapshot (LSN 8) are
+	// gone; recovery only needs records 9..12.
+	r := mustOpen(t, Options{Dir: dir, SegmentBytes: 64})
+	defer r.Close()
+	if r.Snapshot().Epoch != 4 {
+		t.Fatalf("recovered epoch %d, want 4", r.Snapshot().Epoch)
+	}
+	if len(r.Tail()) != 0 {
+		t.Fatalf("tail %+v, want empty (snapshot covers everything)", r.Tail())
+	}
+	if r.LastLSN() != 12 {
+		t.Fatalf("LastLSN %d, want 12", r.LastLSN())
+	}
+	if lsn, err := r.Append(batch(50)); err != nil || lsn != 13 {
+		t.Fatalf("append after pruned recovery: lsn %d err %v", lsn, err)
+	}
+}
+
+func TestFallBackToOlderSnapshotWhenNewestDamaged(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	anchor(t, l) // snapshot 1 at LSN 0
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(batch(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.WriteSnapshot(&Snapshot{Epoch: 2, Index: []byte("idx2")}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	l.Close()
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.slsnap"))
+	data, _ := os.ReadFile(snaps[len(snaps)-1])
+	data[len(data)/2] ^= 0xff
+	os.WriteFile(snaps[len(snaps)-1], data, 0o644)
+
+	r := mustOpen(t, Options{Dir: dir})
+	defer r.Close()
+	if r.Snapshot().Epoch != 1 {
+		t.Fatalf("recovered epoch %d, want fallback to 1", r.Snapshot().Epoch)
+	}
+	// The WAL still holds records 1..3 because pruning only cuts at the
+	// older retained snapshot.
+	if got := len(r.Tail()); got != 3 {
+		t.Fatalf("tail %d records, want 3", got)
+	}
+}
+
+func TestReadOnlyOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	anchor(t, l)
+	if _, err := l.Append(batch(0)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l.Close()
+	seg := lastSegment(t, dir)
+	st, _ := os.Stat(seg)
+	os.Truncate(seg, st.Size()-3)
+	sizeAfterTear, _ := os.Stat(seg)
+
+	r := mustOpen(t, Options{Dir: dir, ReadOnly: true})
+	defer r.Close()
+	if _, err := r.Append(batch(1)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only Append: %v, want ErrReadOnly", err)
+	}
+	if err := r.WriteSnapshot(&Snapshot{Epoch: 9}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only WriteSnapshot: %v, want ErrReadOnly", err)
+	}
+	// The torn tail was dropped from the recovered view but the file was
+	// not repaired.
+	if got := len(r.Tail()); got != 0 {
+		t.Fatalf("read-only tail %d records, want 0", got)
+	}
+	if now, _ := os.Stat(seg); now.Size() != sizeAfterTear.Size() {
+		t.Fatalf("read-only open modified the segment (%d -> %d bytes)", sizeAfterTear.Size(), now.Size())
+	}
+}
+
+func TestRecordsWithoutSnapshotRefused(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	anchor(t, l)
+	if _, err := l.Append(batch(0)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l.Close()
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.slsnap"))
+	for _, s := range snaps {
+		os.Remove(s)
+	}
+	if _, err := Open(Options{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with orphaned records: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTmpFilesCleanedUp(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	anchor(t, l)
+	l.Close()
+	tmp := filepath.Join(dir, "snap-00000000000000ff-0000000000000000.slsnap.tmp")
+	os.WriteFile(tmp, []byte("half-written"), 0o644)
+
+	r := mustOpen(t, Options{Dir: dir})
+	defer r.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("tmp file survived recovery (stat err %v)", err)
+	}
+}
+
+func TestClosedLogRejectsUse(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	anchor(t, l)
+	l.Close()
+	if _, err := l.Append(batch(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if err := l.WriteSnapshot(&Snapshot{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WriteSnapshot after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestInspectHealthyAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 64})
+	anchor(t, l)
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(batch(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+
+	rep, err := Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if rep.Corrupt() {
+		t.Fatalf("healthy dir reported corrupt: %v", rep.Problems)
+	}
+	if rep.TailRecords != 6 || rep.TailOps != 12 {
+		t.Fatalf("tail records %d ops %d, want 6/12", rep.TailRecords, rep.TailOps)
+	}
+	if rep.LastLSN != 6 || rep.RecoverFrom == "" {
+		t.Fatalf("report %+v", rep)
+	}
+
+	// Torn final tail: still healthy (recoverable), reported per segment.
+	seg := lastSegment(t, dir)
+	st, _ := os.Stat(seg)
+	os.Truncate(seg, st.Size()-3)
+	rep, err = Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect torn: %v", err)
+	}
+	if rep.Corrupt() {
+		t.Fatalf("torn tail reported as unrecoverable: %v", rep.Problems)
+	}
+	if last := rep.Segments[len(rep.Segments)-1]; last.TornBytes == 0 {
+		t.Fatalf("torn bytes not reported: %+v", last)
+	}
+
+	// Mid-chain damage is a problem.
+	matches, _ := filepath.Glob(filepath.Join(dir, "wal-*.slwal"))
+	data, _ := os.ReadFile(matches[0])
+	data[len(data)-1] ^= 0x01
+	os.WriteFile(matches[0], data, 0o644)
+	rep, err = Inspect(dir)
+	if err != nil {
+		t.Fatalf("Inspect corrupt: %v", err)
+	}
+	if !rep.Corrupt() {
+		t.Fatalf("mid-chain damage not flagged: %+v", rep)
+	}
+}

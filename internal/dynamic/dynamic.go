@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"sling/internal/core"
+	"sling/internal/durable"
 	"sling/internal/graph"
 	"sling/internal/mc"
 )
@@ -84,6 +85,12 @@ type Options struct {
 	// Seed drives the coupled Monte Carlo transitions. 0 derives a stream
 	// distinct from Build.Seed.
 	Seed uint64
+	// Durable, when non-nil, backs the index with a write-ahead log and
+	// snapshots in Durable.Dir: every applied batch is journaled before it
+	// is acknowledged, each rebuild's epoch swap writes a snapshot, and
+	// Restore reconstructs the exact pre-crash state. New requires a fresh
+	// directory; existing state is reopened with Restore.
+	Durable *durable.Options
 }
 
 // generation is one index epoch: an immutable core.Index (over the graph
@@ -140,6 +147,13 @@ type Dynamic struct {
 	dirtySnap map[int32]struct{}  // same, since the in-flight rebuild snapshot (nil when idle)
 	staleOps  int
 	staleSnap int
+	// pending are the applied ops the serving index does not reflect, in
+	// application order — the replayable form of dirtyAll (staleOps ==
+	// len(pending)). pendingSnap tracks the same tail relative to the
+	// in-flight rebuild snapshot, valid while dirtySnap is non-nil.
+	pending     []Op
+	pendingSnap []Op
+	wal         *durable.Log // nil without Options.Durable
 
 	rebuildMu  sync.Mutex // serializes rebuilds
 	rebuilding atomic.Bool
@@ -153,12 +167,48 @@ type Dynamic struct {
 	est sync.Pool // *ssScratch
 }
 
-// New builds the initial index over g and wraps it for updates.
+// New builds the initial index over g and wraps it for updates. With
+// o.Durable set the directory must not already hold state
+// (ErrStateExists — reopen existing state with Restore): the built index
+// becomes the initial snapshot, anchoring the WAL every later batch is
+// journaled to.
 func New(g *graph.Graph, o Options) (*Dynamic, error) {
+	var wal *durable.Log
+	if o.Durable != nil {
+		var err error
+		wal, err = durable.Open(*o.Durable)
+		if err != nil {
+			return nil, err
+		}
+		if wal.Snapshot() != nil || wal.LastLSN() > 0 {
+			wal.Close()
+			return nil, ErrStateExists
+		}
+	}
 	ix, err := core.Build(g, &o.Build)
 	if err != nil {
+		if wal != nil {
+			wal.Close()
+		}
 		return nil, err
 	}
+	d := newDynamic(g, ix, o)
+	if wal != nil {
+		d.wal = wal
+		d.mu.Lock()
+		_, err := d.snapshotLocked()
+		d.mu.Unlock()
+		if err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("dynamic: writing initial snapshot: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// newDynamic wraps an already-built index (a fresh build or a restored
+// snapshot) with the update machinery.
+func newDynamic(g *graph.Graph, ix *core.Index, o Options) *Dynamic {
 	c, eps := ix.C(), ix.Eps()
 	d := &Dynamic{
 		n:        g.NumNodes(),
@@ -195,7 +245,7 @@ func New(g *graph.Graph, o Options) (*Dynamic, error) {
 	gen := &generation{num: 1, ix: ix, pool: ix.NewScratchPool()}
 	d.cur.Store(&view{gen: gen, g: g})
 	d.est.New = func() interface{} { return newSSScratch(d.n) }
-	return d, nil
+	return d
 }
 
 // DeriveDepth returns the smallest truncation depth t whose ignored
@@ -237,7 +287,13 @@ func (d *Dynamic) applyOne(op Op) (bool, error) {
 // Apply executes a batch of edge ops atomically with respect to queries:
 // one new graph snapshot and one recomputed affected frontier cover the
 // whole batch. Invalid ops fail individually in the returned results;
-// the batch-level error is non-nil only when the index is closed.
+// the batch-level error is non-nil only when the index is closed or when
+// a durable index fails to journal the batch — in both cases no op was
+// applied.
+//
+// On a durable index the batch is journaled before any state mutates
+// (journal-before-apply): an acknowledged op is on disk before it is
+// visible to any query, so Restore can never miss one.
 //
 // Publication cost is per batch, not per op: every batch with at least
 // one applied op rebuilds the CSR snapshot (O(m log m)) and re-runs the
@@ -249,42 +305,71 @@ func (d *Dynamic) Apply(ops []Op) ([]OpResult, int, error) {
 	}
 	res := make([]OpResult, len(ops))
 	d.mu.Lock()
-	applied := 0
+	// Stage first: decide every op's fate against an overlay of the edge
+	// set without touching it, so a journaling failure leaves the index
+	// exactly as it was.
+	staged := make(map[uint64]bool)
+	var applied []Op
 	for i, op := range ops {
 		if op.From < 0 || int(op.From) >= d.n || op.To < 0 || int(op.To) >= d.n {
 			res[i].Err = fmt.Errorf("dynamic: edge (%d,%d) out of range [0,%d)", op.From, op.To, d.n)
 			continue
 		}
 		k := edgeKey(op.From, op.To)
-		if _, exists := d.edges[k]; exists == op.Add {
+		present, ok := staged[k]
+		if !ok {
+			_, present = d.edges[k]
+		}
+		if present == op.Add {
 			continue // add of present edge / remove of absent edge: no-op
 		}
-		if op.Add {
-			d.edges[k] = struct{}{}
-		} else {
-			delete(d.edges, k)
-		}
+		staged[k] = op.Add
 		res[i].Applied = true
-		applied++
-		d.dirtyAll[op.To] = struct{}{}
-		if d.dirtySnap != nil {
-			d.dirtySnap[op.To] = struct{}{}
+		applied = append(applied, op)
+	}
+	if len(applied) == 0 {
+		d.mu.Unlock()
+		return res, 0, nil
+	}
+	if d.wal != nil {
+		if _, err := d.wal.Append(journalOps(applied)); err != nil {
+			d.mu.Unlock()
+			return nil, 0, fmt.Errorf("dynamic: journaling %d op(s): %w", len(applied), err)
 		}
 	}
-	if applied > 0 {
-		d.staleOps += applied
-		if d.dirtySnap != nil {
-			d.staleSnap += applied
-		}
-		d.totalOps.Add(uint64(applied))
-		d.publishLocked()
-	}
+	d.commitLocked(applied)
 	trigger := d.thresh > 0 && d.staleOps >= d.thresh
 	d.mu.Unlock()
 	if trigger {
 		d.TriggerRebuild()
 	}
-	return res, applied, nil
+	return res, len(applied), nil
+}
+
+// commitLocked mutates the edge set and staleness bookkeeping with an
+// already-staged (and, when durable, already-journaled) op sequence and
+// publishes a fresh view. Caller holds mu.
+func (d *Dynamic) commitLocked(applied []Op) {
+	for _, op := range applied {
+		k := edgeKey(op.From, op.To)
+		if op.Add {
+			d.edges[k] = struct{}{}
+		} else {
+			delete(d.edges, k)
+		}
+		d.dirtyAll[op.To] = struct{}{}
+		if d.dirtySnap != nil {
+			d.dirtySnap[op.To] = struct{}{}
+		}
+	}
+	d.pending = append(d.pending, applied...)
+	d.staleOps += len(applied)
+	if d.dirtySnap != nil {
+		d.pendingSnap = append(d.pendingSnap, applied...)
+		d.staleSnap += len(applied)
+	}
+	d.totalOps.Add(uint64(len(applied)))
+	d.publishLocked()
 }
 
 // publishLocked rebuilds the CSR snapshot from the edge set, recomputes
@@ -339,18 +424,22 @@ func affectedFrontier(g *graph.Graph, dirty map[int32]struct{}, depth int) ([]bo
 }
 
 // Rebuild synchronously rebuilds the index over the current graph and
-// swaps it in as a new epoch. Updates applied while the rebuild runs stay
+// swaps it in as a new epoch, returning the epoch this call produced —
+// not whatever epoch is serving afterwards, so concurrent rebuilds each
+// learn their own swap. Updates applied while the rebuild runs stay
 // pending (they form the new epoch's affected frontier); with no
 // concurrent updates the swapped index is byte-identical to a fresh
-// core.Build of the mutated graph with the same options.
-func (d *Dynamic) Rebuild() error {
+// core.Build of the mutated graph with the same options. On a durable
+// index the swap also writes a snapshot; if that fails the new epoch is
+// already serving and the epoch is returned alongside the error.
+func (d *Dynamic) Rebuild() (uint64, error) {
 	d.rebuildMu.Lock()
-	err := d.rebuildLocked()
+	epoch, err := d.rebuildLocked()
 	d.rebuildMu.Unlock()
 	if err == nil {
 		d.retriggerIfStale()
 	}
-	return err
+	return epoch, err
 }
 
 // TriggerRebuild starts a background rebuild unless one is already
@@ -366,7 +455,7 @@ func (d *Dynamic) TriggerRebuild() bool {
 		d.rebuildMu.Lock()
 		// A failed build leaves the previous epoch serving; the next
 		// update over the threshold retries.
-		err := d.rebuildLocked()
+		_, err := d.rebuildLocked()
 		d.rebuildMu.Unlock()
 		d.rebuilding.Store(false)
 		if err == nil {
@@ -389,9 +478,9 @@ func (d *Dynamic) retriggerIfStale() {
 	}
 }
 
-func (d *Dynamic) rebuildLocked() error {
+func (d *Dynamic) rebuildLocked() (uint64, error) {
 	if d.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	d.running.Store(true)
 	defer d.running.Store(false)
@@ -399,6 +488,7 @@ func (d *Dynamic) rebuildLocked() error {
 	snap := d.cur.Load().g
 	d.dirtySnap = make(map[int32]struct{})
 	d.staleSnap = 0
+	d.pendingSnap = nil
 	d.mu.Unlock()
 
 	opt := d.buildOpt
@@ -408,35 +498,53 @@ func (d *Dynamic) rebuildLocked() error {
 	defer d.mu.Unlock()
 	if err != nil {
 		d.dirtySnap = nil
-		return err
+		d.pendingSnap = nil
+		return 0, err
 	}
 	if d.closed.Load() {
 		// Close raced the build: discard the result instead of swapping.
 		d.dirtySnap = nil
-		return ErrClosed
+		d.pendingSnap = nil
+		return 0, ErrClosed
 	}
 	old := d.cur.Load()
 	gen := &generation{num: old.gen.num + 1, ix: ix, pool: ix.NewScratchPool()}
 	d.dirtyAll = d.dirtySnap
 	d.dirtySnap = nil
 	d.staleOps = d.staleSnap
+	d.pending = d.pendingSnap
+	d.pendingSnap = nil
 	aff, list := affectedFrontier(old.g, d.dirtyAll, d.depth)
 	d.cur.Store(&view{gen: gen, g: old.g, affected: aff, affectedList: list, staleOps: d.staleOps})
 	d.rebuilds.Add(1)
 	d.retire(old.gen)
-	return nil
+	if d.wal != nil {
+		// The swap is already visible; a snapshot failure only means
+		// recovery replays a longer WAL tail onto the previous snapshot.
+		if _, err := d.snapshotLocked(); err != nil {
+			return gen.num, fmt.Errorf("dynamic: epoch %d serving but snapshot failed: %w", gen.num, err)
+		}
+	}
+	return gen.num, nil
 }
 
 // Close stops the rebuild machinery: no further updates or rebuilds are
 // accepted, and an in-flight background rebuild is cancelled (its result
 // is discarded before the swap; Close waits for the worker to finish).
-// Queries remain valid against the last published epoch.
+// Queries remain valid against the last published epoch. On a durable
+// index the WAL is closed; the on-disk state is what Restore reopens.
 func (d *Dynamic) Close() {
 	d.closed.Store(true)
 	// Taking rebuildMu is the wait: it is held for the whole of any
 	// in-flight rebuild, whose swap the closed flag above suppresses.
 	d.rebuildMu.Lock()
 	defer d.rebuildMu.Unlock()
+	if d.wal != nil {
+		// mu serializes against an Apply mid-journal.
+		d.mu.Lock()
+		d.wal.Close()
+		d.mu.Unlock()
+	}
 }
 
 // acquire pins the current view: the generation's refcount guarantees the
@@ -652,12 +760,40 @@ type Stats struct {
 	Depth            int    // walk truncation / frontier BFS depth
 	IndexBytes       int64
 	ErrorBound       float64
+	Durable          DurableStats
+}
+
+// DurableStats describes the WAL/snapshot backing of a durable index;
+// the zero value (Enabled false) means memory-only.
+type DurableStats struct {
+	Enabled          bool
+	LSN              uint64 // last journaled batch
+	WALSegments      int
+	WALBytes         int64
+	Snapshots        int    // snapshot files retained on disk
+	LastSnapshotLSN  uint64 // WAL position the newest snapshot covers
+	Appends          uint64 // batches journaled in-process
+	SnapshotsWritten uint64 // snapshots written in-process
 }
 
 // Stats reports the current epoch, staleness, and rebuild state.
 func (d *Dynamic) Stats() Stats {
 	w := d.acquire()
 	defer d.release(w.gen)
+	var ds DurableStats
+	if d.wal != nil {
+		ls := d.wal.Stats()
+		ds = DurableStats{
+			Enabled:          true,
+			LSN:              ls.LastLSN,
+			WALSegments:      ls.Segments,
+			WALBytes:         ls.WALBytes,
+			Snapshots:        ls.Snapshots,
+			LastSnapshotLSN:  ls.LastSnapshotLSN,
+			Appends:          ls.Appends,
+			SnapshotsWritten: ls.SnapshotsWritten,
+		}
+	}
 	return Stats{
 		Epoch:            w.gen.num,
 		Nodes:            d.n,
@@ -673,6 +809,7 @@ func (d *Dynamic) Stats() Stats {
 		Depth:            d.depth,
 		IndexBytes:       w.gen.ix.Bytes(),
 		ErrorBound:       w.gen.ix.ErrorBound(),
+		Durable:          ds,
 	}
 }
 

@@ -106,7 +106,7 @@ func TestRebuildEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		applyRandomOps(t, d, edges, tc.n, tc.ops, tc.seed+100)
-		if err := d.Rebuild(); err != nil {
+		if _, err := d.Rebuild(); err != nil {
 			t.Fatal(err)
 		}
 		if st := d.Stats(); st.Epoch != 2 || st.AffectedNodes != 0 || st.StaleOps != 0 {
@@ -268,7 +268,7 @@ func TestEpochDrainRefcount(t *testing.T) {
 	if _, err := d.AddEdge(1, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Rebuild(); err != nil {
+	if _, err := d.Rebuild(); err != nil {
 		t.Fatal(err)
 	}
 	if got := d.Stats().EpochsDrained; got != 0 {
@@ -289,7 +289,7 @@ func TestCloseStopsRebuilds(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.Close()
-	if err := d.Rebuild(); err != ErrClosed {
+	if _, err := d.Rebuild(); err != ErrClosed {
 		t.Fatalf("Rebuild after Close = %v, want ErrClosed", err)
 	}
 	if d.TriggerRebuild() {

@@ -103,7 +103,7 @@ func FuzzDynamicUpdates(f *testing.F) {
 			case 4:
 				if kind%2 == 0 {
 					d.TriggerRebuild()
-				} else if err := d.Rebuild(); err != nil {
+				} else if _, err := d.Rebuild(); err != nil {
 					t.Errorf("Rebuild: %v", err)
 				}
 			}
@@ -117,7 +117,7 @@ func FuzzDynamicUpdates(f *testing.F) {
 		wg.Wait()
 
 		// Settle and spot-check the final state end to end.
-		if err := d.Rebuild(); err != nil {
+		if _, err := d.Rebuild(); err != nil {
 			t.Fatal(err)
 		}
 		for u := 0; u < n; u++ {

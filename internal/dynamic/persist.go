@@ -1,0 +1,186 @@
+package dynamic
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"sling/internal/core"
+	"sling/internal/durable"
+	"sling/internal/graph"
+)
+
+// ErrNotDurable is returned by Snapshot on an index built without
+// Options.Durable.
+var ErrNotDurable = errors.New("dynamic: index has no durable storage")
+
+// ErrNoState is returned by Restore when the durable directory holds no
+// snapshot to restore from.
+var ErrNoState = errors.New("dynamic: no durable state to restore")
+
+// ErrStateExists is returned by New when Options.Durable points at a
+// directory that already holds state; reopen it with Restore.
+var ErrStateExists = errors.New("dynamic: durable directory already holds state (use Restore)")
+
+// Restore reopens the durable state in o.Durable.Dir: the newest valid
+// snapshot supplies the epoch index (deserialized against its base
+// graph), the mutated edge set, and the pending-op tail; WAL records past
+// the snapshot are then replayed. The result answers bitwise-identically
+// to the lost instance — the SLIX round trip preserves float bits, the
+// replayed ops reproduce the exact staleness frontier, and the Monte
+// Carlo estimator is a pure function of (options, graph) — provided o
+// carries the same build options, walk budget, and seeds the state was
+// created with (they are not persisted).
+//
+// Torn WAL tails were already truncated at the last valid record by
+// recovery; any damage that could hide an acknowledged op fails here
+// with durable.ErrCorrupt rather than restoring silently-wrong state.
+func Restore(o Options) (*Dynamic, error) {
+	if o.Durable == nil {
+		return nil, ErrNotDurable
+	}
+	wal, err := durable.Open(*o.Durable)
+	if err != nil {
+		return nil, err
+	}
+	d, err := restoreFrom(wal, o)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+func restoreFrom(wal *durable.Log, o Options) (*Dynamic, error) {
+	snap := wal.Snapshot()
+	if snap == nil {
+		return nil, ErrNoState
+	}
+	b := graph.NewBuilder(snap.BaseNodes)
+	for _, e := range snap.BaseEdges {
+		b.AddEdge(e.From, e.To)
+	}
+	base := b.Build()
+	ix, err := core.ReadIndex(bytes.NewReader(snap.Index), base)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: reading snapshot index: %w", err)
+	}
+	d := newDynamic(base, ix, o)
+	d.wal = wal
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cur.Load().gen.num = snap.Epoch // not yet shared; safe to fix up
+
+	// Replay the snapshot's pending tail over its base graph, then
+	// cross-check the result against the edge set the snapshot stored:
+	// the two sections were written together, so any disagreement means
+	// damage the per-file CRCs could not see (e.g. a restored backup
+	// mixing generations).
+	if err := d.replayLocked(snap.Pending); err != nil {
+		return nil, fmt.Errorf("%w: snapshot pending ops: %v", durable.ErrCorrupt, err)
+	}
+	if len(d.edges) != len(snap.Edges) {
+		return nil, fmt.Errorf("%w: snapshot edge set has %d edges, base+pending yields %d",
+			durable.ErrCorrupt, len(snap.Edges), len(d.edges))
+	}
+	for _, e := range snap.Edges {
+		if _, ok := d.edges[edgeKey(e.From, e.To)]; !ok {
+			return nil, fmt.Errorf("%w: snapshot edge set and pending ops disagree on (%d,%d)",
+				durable.ErrCorrupt, e.From, e.To)
+		}
+	}
+	// Then the WAL tail past the snapshot.
+	for _, rec := range wal.Tail() {
+		if err := d.replayLocked(rec.Ops); err != nil {
+			return nil, fmt.Errorf("%w: WAL record %d: %v", durable.ErrCorrupt, rec.LSN, err)
+		}
+	}
+	d.totalOps.Store(snap.TotalOps + uint64(len(d.pending)-len(snap.Pending)))
+	d.staleOps = len(d.pending)
+	d.publishLocked()
+	return d, nil
+}
+
+// replayLocked strictly re-applies journaled ops: every op must mutate
+// the edge set exactly as it did originally (a no-op during replay means
+// the log and the state diverged). Caller holds mu; the caller publishes
+// once after the full replay.
+func (d *Dynamic) replayLocked(ops []durable.Op) error {
+	for _, op := range ops {
+		if op.From < 0 || int(op.From) >= d.n || op.To < 0 || int(op.To) >= d.n {
+			return fmt.Errorf("edge (%d,%d) out of range [0,%d)", op.From, op.To, d.n)
+		}
+		k := edgeKey(op.From, op.To)
+		if _, exists := d.edges[k]; exists == op.Add {
+			return fmt.Errorf("journaled op (add=%t %d->%d) is a no-op against the replayed state", op.Add, op.From, op.To)
+		}
+		if op.Add {
+			d.edges[k] = struct{}{}
+		} else {
+			delete(d.edges, k)
+		}
+		d.dirtyAll[op.To] = struct{}{}
+		d.pending = append(d.pending, Op{Add: op.Add, From: op.From, To: op.To})
+	}
+	return nil
+}
+
+// Snapshot manually captures the current state (epoch index, edge set,
+// pending tail) as a durable snapshot, returning the WAL position it
+// covers. Rebuilds snapshot automatically; this is the operational hook
+// (POST /snapshot) for bounding WAL replay on graphs that rarely
+// rebuild.
+func (d *Dynamic) Snapshot() (uint64, error) {
+	if d.closed.Load() {
+		return 0, ErrClosed
+	}
+	if d.wal == nil {
+		return 0, ErrNotDurable
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapshotLocked()
+}
+
+// snapshotLocked writes the serving state as a snapshot. Caller holds mu
+// (pending, the edge set, and the WAL position cannot move) and
+// guarantees d.wal is non-nil.
+func (d *Dynamic) snapshotLocked() (uint64, error) {
+	w := d.cur.Load()
+	base := w.gen.ix.Graph()
+	var buf bytes.Buffer
+	if _, err := w.gen.ix.WriteTo(&buf); err != nil {
+		return 0, err
+	}
+	baseEdges := make([]durable.Edge, 0, base.NumEdges())
+	base.Edges(func(from, to graph.NodeID) bool {
+		baseEdges = append(baseEdges, durable.Edge{From: from, To: to})
+		return true
+	})
+	edges := make([]durable.Edge, 0, len(d.edges))
+	for k := range d.edges {
+		edges = append(edges, durable.Edge{From: int32(k >> 32), To: int32(uint32(k))})
+	}
+	s := &durable.Snapshot{
+		Epoch:     w.gen.num,
+		TotalOps:  d.totalOps.Load(),
+		BaseNodes: base.NumNodes(),
+		BaseEdges: baseEdges,
+		Index:     buf.Bytes(),
+		Edges:     edges,
+		Pending:   journalOps(d.pending),
+	}
+	if err := d.wal.WriteSnapshot(s); err != nil {
+		return 0, err
+	}
+	return s.LSN, nil
+}
+
+// journalOps converts applied ops to their journal form.
+func journalOps(ops []Op) []durable.Op {
+	out := make([]durable.Op, len(ops))
+	for i, op := range ops {
+		out[i] = durable.Op{Add: op.Add, From: op.From, To: op.To}
+	}
+	return out
+}

@@ -71,6 +71,21 @@ type dynamicStatsView struct {
 	ErrorBound       float64 `json:"error_bound"`
 	DecayFactor      float64 `json:"decay_factor"`
 	CanceledOps      uint64  `json:"canceled_ops"`
+
+	// Durable is present only when the graph journals to disk.
+	Durable *durableStatsView `json:"durable,omitempty"`
+}
+
+// durableStatsView is the nested WAL/snapshot section of the dynamic
+// /stats document.
+type durableStatsView struct {
+	LSN              uint64 `json:"lsn"`
+	WALSegments      int    `json:"wal_segments"`
+	WALBytes         int64  `json:"wal_bytes"`
+	Snapshots        int    `json:"snapshots"`
+	LastSnapshotLSN  uint64 `json:"last_snapshot_lsn"`
+	Appends          uint64 `json:"appends"`
+	SnapshotsWritten uint64 `json:"snapshots_written"`
 }
 
 // querierStatsView is the mode-agnostic fallback for NewQuerier
@@ -83,6 +98,23 @@ type querierStatsView struct {
 	Clamped     bool    `json:"clamped"`
 	Epoch       uint64  `json:"epoch"`
 	CanceledOps uint64  `json:"canceled_ops"`
+}
+
+// durableView maps the dynamic layer's durable stats into the nested
+// /stats section, nil when the graph has no durable storage.
+func durableView(d sling.DynamicDurableStats) *durableStatsView {
+	if !d.Enabled {
+		return nil
+	}
+	return &durableStatsView{
+		LSN:              d.LSN,
+		WALSegments:      d.WALSegments,
+		WALBytes:         d.WALBytes,
+		Snapshots:        d.Snapshots,
+		LastSnapshotLSN:  d.LastSnapshotLSN,
+		Appends:          d.Appends,
+		SnapshotsWritten: d.SnapshotsWritten,
+	}
 }
 
 // statsView builds the typed /stats document for a backend, dispatching
@@ -146,6 +178,7 @@ func statsView(q sling.Querier, canceled uint64) interface{} {
 			ErrorBound:       st.ErrorBound,
 			DecayFactor:      b.C(),
 			CanceledOps:      canceled,
+			Durable:          durableView(st.Durable),
 		}
 	default:
 		m := q.Meta()

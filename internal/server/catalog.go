@@ -50,6 +50,7 @@ func NewCatalog(cat *catalog.Catalog, cfg Config) (*Server, error) {
 		{"batch", true, (*tenant).handleBatch},
 		{"update", true, (*tenant).handleUpdate},
 		{"rebuild", true, (*tenant).handleRebuild},
+		{"snapshot", true, (*tenant).handleSnapshot},
 		{"stats", false, (*tenant).handleStats},
 	}
 	for _, rt := range routes {

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+
+	"sling"
+	"sling/internal/catalog"
+	"sling/internal/rng"
+)
+
+// Two racing rebuilds must each report the epoch their own swap
+// produced — distinct, consecutive numbers — not both the later one.
+func TestRacingRebuildsReportDistinctEpochs(t *testing.T) {
+	s, _ := dynServer(t, nil)
+	if rec, _ := post(t, s, "/update", `[{"op":"add","from":0,"to":39}]`); rec.Code != http.StatusOK {
+		t.Fatalf("seed update status %d", rec.Code)
+	}
+	epochs := make([]float64, 2)
+	var wg sync.WaitGroup
+	for i := range epochs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, body := post(t, s, "/rebuild", "")
+			if rec.Code != http.StatusOK {
+				t.Errorf("rebuild %d status %d: %s", i, rec.Code, rec.Body.String())
+				return
+			}
+			epochs[i] = body["epoch"].(float64)
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	lo, hi := epochs[0], epochs[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo != 2 || hi != 3 {
+		t.Fatalf("racing rebuilds reported epochs %v and %v, want 2 and 3", epochs[0], epochs[1])
+	}
+}
+
+// Per-op /update error entries must carry the request's from/to when
+// present, so clients can correlate failures without positions.
+func TestUpdateErrorEntriesKeepLabels(t *testing.T) {
+	s, _ := dynServer(t, nil)
+	rec, body := post(t, s, "/update", `[
+		{"op":"zap","from":3,"to":4},
+		{"op":"add","from":99,"to":1},
+		{"op":"add","from":2,"to":99},
+		{"op":"add","from":5},
+		{"op":"zap"}
+	]`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	results := body["results"].([]interface{})
+	checks := []struct {
+		from, to interface{} // expected label values, nil = absent
+	}{
+		{3.0, 4.0},  // unknown op keeps both labels
+		{99.0, 1.0}, // bad from keeps both
+		{2.0, 99.0}, // bad to keeps both
+		{5.0, nil},  // missing to stays absent
+		{nil, nil},  // nothing to echo
+	}
+	for i, want := range checks {
+		entry := results[i].(map[string]interface{})
+		if entry["error"] == nil {
+			t.Fatalf("result %d not an error entry: %v", i, entry)
+		}
+		if got, ok := entry["from"]; want.from == nil && ok {
+			t.Errorf("result %d: unexpected from = %v", i, got)
+		} else if want.from != nil && got != want.from {
+			t.Errorf("result %d: from = %v, want %v", i, got, want.from)
+		}
+		if got, ok := entry["to"]; want.to == nil && ok {
+			t.Errorf("result %d: unexpected to = %v", i, got)
+		} else if want.to != nil && got != want.to {
+			t.Errorf("result %d: to = %v, want %v", i, got, want.to)
+		}
+	}
+	if body["applied"].(float64) != 0 {
+		t.Fatalf("applied = %v, want 0", body["applied"])
+	}
+}
+
+// The /update quota charges only ops that survive label resolution:
+// requests full of doomed ops cost no tokens, and the 429 boundary sits
+// exactly at the surviving-op count.
+func TestUpdateQuotaChargesSurvivors(t *testing.T) {
+	dir := t.TempDir()
+	dynPath := writeEdgeList(t, dir, "dyn.txt", 20, 60, 9)
+	m := catalog.Manifest{Graphs: []catalog.GraphSpec{{
+		ID: "dyn", Graph: dynPath, Mode: "dynamic",
+		Eps: 0.15, Seed: 3, Walks: 16,
+		MaxQPS: 1, // burst derives to 1 token
+	}}}
+	cat, err := catalog.New(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	s, err := NewCatalog(cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All-failing batches never debit the bucket, no matter how many.
+	for i := 0; i < 5; i++ {
+		rec, _ := post(t, s, "/g/dyn/update", `[{"op":"add","from":99,"to":1},{"op":"zap","from":0,"to":1}]`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("all-failing batch %d status %d, want 200 (no quota charge)", i, rec.Code)
+		}
+	}
+	// A mixed batch costs exactly its one survivor: it fits the 1-token
+	// bucket even alongside two doomed ops.
+	rec, body := post(t, s, "/g/dyn/update", `[
+		{"op":"add","from":99,"to":1},
+		{"op":"add","from":0,"to":7},
+		{"op":"zap","from":1,"to":2}
+	]`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mixed batch status %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	if body["applied"].(float64) != 1 {
+		t.Fatalf("applied = %v, want 1", body["applied"])
+	}
+	// The bucket is now empty: the next surviving op is over quota.
+	rec, _ = post(t, s, "/g/dyn/update", `[{"op":"remove","from":0,"to":7}]`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota update status %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q", ra)
+	}
+	// Doomed ops still pass while the bucket is empty.
+	if rec, _ := post(t, s, "/g/dyn/update", `[{"op":"zap","from":1,"to":2}]`); rec.Code != http.StatusOK {
+		t.Fatalf("all-failing batch while throttled status %d, want 200", rec.Code)
+	}
+}
+
+// POST /snapshot checkpoints a durably backed graph and answers the
+// covered LSN; graphs without durable storage answer 409, non-dynamic
+// backends 404.
+func TestSnapshotEndpoint(t *testing.T) {
+	// Non-durable dynamic graph: 409.
+	s, _ := dynServer(t, nil)
+	if rec, _ := post(t, s, "/snapshot", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("snapshot of non-durable graph status %d, want 409", rec.Code)
+	}
+
+	// Durable dynamic graph: the snapshot covers every journaled op.
+	r := rng.New(15)
+	n := 20
+	b := sling.NewGraphBuilder(n)
+	for i := 0; i < 80; i++ {
+		b.AddEdge(sling.NodeID(r.Intn(n)), sling.NodeID(r.Intn(n)))
+	}
+	dx, err := sling.NewDynamic(b.Build(),
+		&sling.DynamicOptions{NumWalks: 32, DurableDir: t.TempDir(), DurableNoSync: true},
+		sling.WithEps(0.1), sling.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dx.Close() })
+	sd, err := NewDynamic(dx, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := post(t, sd, "/update", `[{"op":"add","from":0,"to":9}]`); rec.Code != http.StatusOK {
+		t.Fatalf("update status %d", rec.Code)
+	}
+	rec, body := post(t, sd, "/snapshot", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot status %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["lsn"].(float64) < 1 {
+		t.Fatalf("snapshot lsn = %v, want >= 1", body["lsn"])
+	}
+	if body["took_ms"] == nil {
+		t.Fatal("snapshot response missing took_ms")
+	}
+	_, st := get(t, sd, "/stats")
+	dur := st["durable"].(map[string]interface{})
+	if dur["last_snapshot_lsn"] != body["lsn"] {
+		t.Fatalf("stats last_snapshot_lsn = %v, snapshot answered %v", dur["last_snapshot_lsn"], body["lsn"])
+	}
+
+	// Catalog routing: snapshot of a memory graph is 404 like the other
+	// mutation endpoints.
+	cs, _, _ := catServer(t, 0)
+	if rec, _ := post(t, cs, "/g/mem/snapshot", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("snapshot on memory graph status %d, want 404", rec.Code)
+	}
+	if rec, _ := post(t, cs, "/g/dyn/snapshot", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("snapshot on non-durable dynamic graph status %d, want 409", rec.Code)
+	}
+}

@@ -31,6 +31,7 @@
 //	POST /batch                    -> {"results":[...]} (see batch.go)
 //	POST /update                   -> dynamic backends only (see update.go)
 //	POST /rebuild                  -> dynamic backends only (see update.go)
+//	POST /snapshot                 -> durable dynamic backends only (see update.go)
 //	GET  /stats                    -> index and graph statistics
 //	GET  /metrics                  -> Prometheus text exposition
 //	GET  /graphs                   -> catalog mode: the graph listing
@@ -155,8 +156,9 @@ func NewDisk(di *sling.DiskIndex, labels []int64, cfg Config) (*Server, error) {
 
 // NewDynamic creates a Server over an updatable index. The query surface
 // is the same as the other modes; additionally POST /update applies edge
-// operations, POST /rebuild swaps in a freshly built epoch, and /stats
-// reports epoch, staleness-frontier, and rebuild-state counters.
+// operations, POST /rebuild swaps in a freshly built epoch, POST
+// /snapshot persists the state of a durable index, and /stats reports
+// epoch, staleness-frontier, rebuild-state, and durability counters.
 func NewDynamic(dx *sling.DynamicIndex, labels []int64, cfg Config) (*Server, error) {
 	return newServer(dx, dx, labels, cfg)
 }
@@ -225,6 +227,7 @@ func newServer(q sling.Querier, dyn *sling.DynamicIndex, labels []int64, cfg Con
 	if dyn != nil {
 		s.mux.HandleFunc("/update", s.postOnly(s.fixed((*tenant).handleUpdate)))
 		s.mux.HandleFunc("/rebuild", s.postOnly(s.fixed((*tenant).handleRebuild)))
+		s.mux.HandleFunc("/snapshot", s.postOnly(s.fixed((*tenant).handleSnapshot)))
 	}
 	s.commonRoutes()
 	return s, nil

@@ -68,6 +68,24 @@ var (
 		"decay_factor":      "number",
 		"canceled_ops":      "number",
 	}
+	// Durably-backed dynamic graphs grow a nested durable section; the
+	// plain dynamic document must keep omitting it.
+	dynamicDurableStatsSchema = func() statsSchema {
+		s := statsSchema{}
+		for k, v := range dynamicStatsSchema {
+			s[k] = v
+		}
+		s["durable"] = statsSchema{
+			"lsn":               "number",
+			"wal_segments":      "number",
+			"wal_bytes":         "number",
+			"snapshots":         "number",
+			"last_snapshot_lsn": "number",
+			"appends":           "number",
+			"snapshots_written": "number",
+		}
+		return s
+	}()
 )
 
 // checkSchema asserts doc matches schema exactly: no missing fields, no
@@ -131,18 +149,19 @@ func TestStatsSchemaPerMode(t *testing.T) {
 	}
 
 	modes := []struct {
+		name   string // subtest name; "mode" in the document
 		mode   string
 		schema statsSchema
 		make   func(t *testing.T) *Server
 	}{
-		{"memory", memoryStatsSchema, func(t *testing.T) *Server {
+		{"memory", "memory", memoryStatsSchema, func(t *testing.T) *Server {
 			s, err := New(ix, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			return s
 		}},
-		{"disk", diskStatsSchema, func(t *testing.T) *Server {
+		{"disk", "disk", diskStatsSchema, func(t *testing.T) *Server {
 			path := filepath.Join(t.TempDir(), "ix.slix")
 			if err := ix.Save(path); err != nil {
 				t.Fatal(err)
@@ -158,8 +177,22 @@ func TestStatsSchemaPerMode(t *testing.T) {
 			}
 			return s
 		}},
-		{"dynamic", dynamicStatsSchema, func(t *testing.T) *Server {
+		{"dynamic", "dynamic", dynamicStatsSchema, func(t *testing.T) *Server {
 			dx, err := sling.NewDynamic(g, &sling.DynamicOptions{NumWalks: 32}, sling.WithOptions(*opt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { dx.Close() })
+			s, err := NewDynamic(dx, nil, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"dynamic-durable", "dynamic", dynamicDurableStatsSchema, func(t *testing.T) *Server {
+			dx, err := sling.NewDynamic(g,
+				&sling.DynamicOptions{NumWalks: 32, DurableDir: t.TempDir(), DurableNoSync: true},
+				sling.WithOptions(*opt))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -173,7 +206,7 @@ func TestStatsSchemaPerMode(t *testing.T) {
 	}
 	for _, m := range modes {
 		m := m
-		t.Run(m.mode, func(t *testing.T) {
+		t.Run(m.name, func(t *testing.T) {
 			s := m.make(t)
 			rec, body := get(t, s, "/stats")
 			if rec.Code != 200 {

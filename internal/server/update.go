@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -10,8 +11,9 @@ import (
 
 // Dynamic-mode mutation endpoints (registered only by NewDynamic):
 //
-//	POST /update   apply a batch of edge operations
-//	POST /rebuild  synchronously rebuild the index and swap the epoch
+//	POST /update    apply a batch of edge operations
+//	POST /rebuild   synchronously rebuild the index and swap the epoch
+//	POST /snapshot  write a durable snapshot (409 without -durable)
 //
 // /update takes a JSON array of operations in external labels,
 //
@@ -28,8 +30,13 @@ import (
 // op-count guards mirror /batch exactly (405+Allow, 400, 413).
 //
 // /rebuild takes no body, blocks until the rebuild completes, and answers
-// {"epoch":E,"took_ms":T}. Epoch E is the post-swap epoch, so a client
-// can confirm the swap happened by comparing against /stats before.
+// {"epoch":E,"took_ms":T}. Epoch E is the epoch this call's own swap
+// produced, so a client can confirm the swap happened by comparing
+// against /stats before — and two racing rebuilds each see their own.
+//
+// /snapshot takes no body and writes a durable snapshot of the current
+// state, answering {"lsn":L,"took_ms":T} with the WAL position the
+// snapshot covers. Graphs served without durable storage answer 409.
 
 // UpdateOp is one edge operation in a POST /update request. From and To
 // are node labels (original labels when the server has a label mapping,
@@ -49,13 +56,22 @@ func (t *tenant) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if !t.allow(w, len(ops)) {
-		return
-	}
 
 	results := make([]interface{}, len(ops))
 	// Resolve labels first; ops that fail resolution get error entries and
-	// the survivors are applied as one batch.
+	// the survivors are applied as one batch. Error entries keep the
+	// request's from/to (when present) so clients can correlate failures
+	// without falling back to positions.
+	errEntry := func(op UpdateOp, msg string) map[string]interface{} {
+		entry := map[string]interface{}{"op": op.Op, "error": msg}
+		if op.From != nil {
+			entry["from"] = *op.From
+		}
+		if op.To != nil {
+			entry["to"] = *op.To
+		}
+		return entry
+	}
 	edgeOps := make([]sling.EdgeOp, 0, len(ops))
 	slot := make([]int, 0, len(ops)) // edgeOps[i] answers results[slot[i]]
 	for i, op := range ops {
@@ -65,23 +81,26 @@ func (t *tenant) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			add = true
 		case "remove":
 		default:
-			results[i] = map[string]interface{}{
-				"op": op.Op, "error": fmt.Sprintf("unknown op %q (want add|remove)", op.Op),
-			}
+			results[i] = errEntry(op, fmt.Sprintf("unknown op %q (want add|remove)", op.Op))
 			continue
 		}
 		from, err := t.opNode(op.From, "from")
 		if err != nil {
-			results[i] = map[string]interface{}{"op": op.Op, "error": err.Error()}
+			results[i] = errEntry(op, err.Error())
 			continue
 		}
 		to, err := t.opNode(op.To, "to")
 		if err != nil {
-			results[i] = map[string]interface{}{"op": op.Op, "error": err.Error()}
+			results[i] = errEntry(op, err.Error())
 			continue
 		}
 		edgeOps = append(edgeOps, sling.EdgeOp{Add: add, From: from, To: to})
 		slot = append(slot, i)
+	}
+	// Quota charges only the ops that survived resolution — the ones the
+	// dynamic layer will actually see — not the request's raw length.
+	if len(edgeOps) > 0 && !t.allow(w, len(edgeOps)) {
+		return
 	}
 	applied := 0
 	if len(edgeOps) > 0 {
@@ -121,12 +140,37 @@ func (t *tenant) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	if err := t.dyn.Rebuild(); err != nil {
+	// Rebuild reports the epoch its own swap produced; re-reading
+	// t.dyn.Epoch() here would let two racing rebuilds both observe the
+	// later swap and answer the same number.
+	epoch, err := t.dyn.Rebuild()
+	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	writeJSON(w, map[string]interface{}{
-		"epoch":   t.dyn.Epoch(),
+		"epoch":   epoch,
+		"took_ms": float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
+}
+
+func (t *tenant) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if t.dyn == nil {
+		httpError(w, http.StatusNotFound, "graph is not served by an updatable backend")
+		return
+	}
+	start := time.Now()
+	lsn, err := t.dyn.Snapshot()
+	if err != nil {
+		if errors.Is(err, sling.ErrNotDurable) {
+			httpError(w, http.StatusConflict, "graph has no durable storage configured")
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, map[string]interface{}{
+		"lsn":     lsn,
 		"took_ms": float64(time.Since(start).Nanoseconds()) / 1e6,
 	})
 }

@@ -41,6 +41,7 @@ import (
 	"runtime"
 
 	"sling/internal/core"
+	"sling/internal/durable"
 	"sling/internal/dynamic"
 	"sling/internal/graph"
 	"sling/internal/power"
@@ -438,6 +439,25 @@ type EdgeOpResult = dynamic.OpResult
 // rebuild state, and drain counters.
 type DynamicStats = dynamic.Stats
 
+// DynamicDurableStats describes the WAL/snapshot backing of a durable
+// DynamicIndex (DynamicStats.Durable; Enabled false when memory-only).
+type DynamicDurableStats = dynamic.DurableStats
+
+// Durable-state error sentinels, re-exported for callers that dispatch
+// on them (restore-or-create flows, operational tooling). Test with
+// errors.Is — they arrive wrapped with context.
+var (
+	// ErrNotDurable: the operation needs DynamicOptions.DurableDir.
+	ErrNotDurable = dynamic.ErrNotDurable
+	// ErrNoDurableState: RestoreDynamic found no snapshot to restore.
+	ErrNoDurableState = dynamic.ErrNoState
+	// ErrDurableStateExists: NewDynamic pointed at a non-fresh directory.
+	ErrDurableStateExists = dynamic.ErrStateExists
+	// ErrDurableCorrupt: recovery refused damage it cannot repair without
+	// losing acknowledged updates.
+	ErrDurableCorrupt = durable.ErrCorrupt
+)
+
 // DynamicOptions tunes the dynamic layer beyond its defaults.
 type DynamicOptions struct {
 	// RebuildThreshold is the number of applied edge ops that triggers a
@@ -455,6 +475,29 @@ type DynamicOptions struct {
 	// Seed drives the Monte Carlo coupling. 0 derives one from the build
 	// seed.
 	Seed uint64
+	// DurableDir, when set, backs the index with a write-ahead log and
+	// snapshots in that directory: applied batches are journaled before
+	// they are acknowledged, rebuild epoch swaps write snapshots, and
+	// RestoreDynamic reopens the state after a restart. NewDynamic
+	// requires the directory to hold no prior state.
+	DurableDir string
+	// DurableNoSync skips the per-batch fsync: a crash may silently lose
+	// the newest acknowledged batches (recovery truncates them as a torn
+	// tail). Snapshots are always synced.
+	DurableNoSync bool
+	// DurableReadOnly opens the durable state without modifying it — no
+	// torn-tail repair, no appends (updates fail). Only meaningful with
+	// RestoreDynamic, e.g. to inspect a live instance's directory.
+	DurableReadOnly bool
+}
+
+// durableOptions maps the facade's durable fields onto the storage
+// layer's options, nil when durability is off.
+func (do *DynamicOptions) durableOptions() *durable.Options {
+	if do == nil || do.DurableDir == "" {
+		return nil
+	}
+	return &durable.Options{Dir: do.DurableDir, NoSync: do.DurableNoSync, ReadOnly: do.DurableReadOnly}
 }
 
 // DynamicIndex is an updatable SimRank index (a built static index plus
@@ -475,7 +518,33 @@ type DynamicIndex struct {
 // set is fixed; edges may be added and removed freely afterwards. A nil
 // do takes the dynamic-layer defaults.
 func NewDynamic(g *Graph, do *DynamicOptions, opts ...BuildOption) (*DynamicIndex, error) {
-	opt := dynamic.Options{Build: *resolveBuild(opts)}
+	d, err := dynamic.New(g, dynamicOptions(do, opts))
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicIndex{d: d, n: g.NumNodes()}, nil
+}
+
+// RestoreDynamic reopens the durable state in do.DurableDir (required):
+// the newest valid snapshot plus the WAL tail reproduce the lost
+// instance's exact state, answering bitwise-identically — provided the
+// build options and seeds match the ones the state was created with
+// (they are not persisted). A directory that never held state returns
+// ErrNoDurableState; damage that could hide an acknowledged update
+// returns an error wrapping ErrDurableCorrupt instead of restoring
+// silently-wrong state.
+func RestoreDynamic(do *DynamicOptions, opts ...BuildOption) (*DynamicIndex, error) {
+	d, err := dynamic.Restore(dynamicOptions(do, opts))
+	if err != nil {
+		return nil, err
+	}
+	dx := &DynamicIndex{d: d}
+	dx.n = dx.d.NumNodes()
+	return dx, nil
+}
+
+func dynamicOptions(do *DynamicOptions, opts []BuildOption) dynamic.Options {
+	opt := dynamic.Options{Build: *resolveBuild(opts), Durable: do.durableOptions()}
 	if do != nil {
 		opt.RebuildThreshold = do.RebuildThreshold
 		opt.NumWalks = do.NumWalks
@@ -483,11 +552,7 @@ func NewDynamic(g *Graph, do *DynamicOptions, opts ...BuildOption) (*DynamicInde
 		opt.Workers = do.Workers
 		opt.Seed = do.Seed
 	}
-	d, err := dynamic.New(g, opt)
-	if err != nil {
-		return nil, err
-	}
-	return &DynamicIndex{d: d, n: g.NumNodes()}, nil
+	return opt
 }
 
 // AddEdge inserts u -> v, reporting whether the graph changed (false when
@@ -504,9 +569,16 @@ func (dx *DynamicIndex) RemoveEdge(u, v NodeID) (bool, error) { return dx.d.Remo
 func (dx *DynamicIndex) Apply(ops []EdgeOp) ([]EdgeOpResult, int, error) { return dx.d.Apply(ops) }
 
 // Rebuild synchronously rebuilds the index over the current graph and
-// swaps it in as a new epoch. With no concurrent updates the result is
-// byte-identical to a fresh Build of the mutated graph.
-func (dx *DynamicIndex) Rebuild() error { return dx.d.Rebuild() }
+// swaps it in as a new epoch, returning the epoch this call produced (not
+// whatever epoch serves afterwards — concurrent rebuilds each learn their
+// own). With no concurrent updates the result is byte-identical to a
+// fresh Build of the mutated graph.
+func (dx *DynamicIndex) Rebuild() (uint64, error) { return dx.d.Rebuild() }
+
+// Snapshot captures the current state as a durable snapshot, returning
+// the WAL position it covers. It errors with ErrNotDurable unless the
+// index was created with DynamicOptions.DurableDir.
+func (dx *DynamicIndex) Snapshot() (uint64, error) { return dx.d.Snapshot() }
 
 // TriggerRebuild starts a background rebuild unless one is running; it
 // reports whether one was started.

@@ -316,7 +316,7 @@ func TestQuerierMeta(t *testing.T) {
 	if ym.Name != "dynamic" || !ym.Clamped || ym.Epoch != 1 {
 		t.Fatalf("dynamic meta wrong: %+v", ym)
 	}
-	if err := dx.Rebuild(); err != nil {
+	if _, err := dx.Rebuild(); err != nil {
 		t.Fatal(err)
 	}
 	if got := dx.Meta().Epoch; got != 2 {
