@@ -56,6 +56,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -848,11 +849,53 @@ func runThroughput() error {
 
 // --------------------------------------------------------------- diskqps
 
+// diskQPSRow is one (dataset, backend, cache, workers) cell of the
+// diskqps experiment, written to BENCH_diskqps.json. Backend "readat"
+// is the positioned-read engine (one row group per -caches size);
+// "mmap" is the zero-copy mapped engine, where the OS page cache is
+// the only cache. AllocsPerOp is measured once per row group on a
+// warm single-worker pass; the mapped fetch path's contract is that it
+// stays at zero.
+type diskQPSRow struct {
+	Dataset     string  `json:"dataset"`
+	Backend     string  `json:"backend"`
+	CacheMiB    float64 `json:"cache_mib"`
+	Workers     int     `json:"workers"`
+	Queries     int     `json:"queries"`
+	QPS         float64 `json:"qps"`
+	Speedup     float64 `json:"speedup"`
+	HitRate     float64 `json:"hit_rate"` // -1 when no entry cache is live
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// allocsPerOp measures heap allocations per single-pair query on a warm
+// single-worker pass: the first run settles scratch-pool and cache
+// capacities, the second is bracketed by MemStats.Mallocs readings.
+func allocsPerOp(pool *core.DiskScratchPool, pairs []workload.Pair, ops int) (float64, error) {
+	warm := ops
+	if warm > 2048 {
+		warm = 2048
+	}
+	if _, _, err := diskPairRun(pool, pairs, warm, 1); err != nil {
+		return 0, err
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if _, _, err := diskPairRun(pool, pairs, ops, 1); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(ops), nil
+}
+
 // runDiskQPS measures the disk-resident serving tier (Section 5.4):
-// single-pair QPS as concurrent query goroutines scale, at each
-// -caches entry-cache size. Before this engine existed, disk queries
-// went through one global mutex, so QPS was flat in goroutine count;
-// this experiment is the evidence that the pooled, cached path scales.
+// single-pair QPS as concurrent query goroutines scale, for the
+// positioned-read engine at each -caches entry-cache size and — where
+// the platform supports it — the zero-copy mmap engine. Before the
+// pooled engine existed, disk queries went through one global mutex,
+// so QPS was flat in goroutine count; this experiment is the evidence
+// that the pooled, cached path scales, and that the mapped path serves
+// without allocating.
 func runDiskQPS() error {
 	def := []workload.Spec{}
 	for _, name := range []string{"GrQc", "Wiki-Vote"} {
@@ -882,11 +925,25 @@ func runDiskQPS() error {
 		}
 		caches = append(caches, v)
 	}
-	fmt.Printf("== Disk QPS: disk-resident single-pair queries vs goroutines and cache (preset %s, scale %g) ==\n",
+	type qpsCfg struct {
+		backend  string
+		cacheMiB float64
+	}
+	var cfgs []qpsCfg
+	for _, mib := range caches {
+		cfgs = append(cfgs, qpsCfg{"readat", mib})
+	}
+	if core.MmapSupported() {
+		cfgs = append(cfgs, qpsCfg{"mmap", 0})
+	} else {
+		fmt.Println("   (mmap backend skipped: unsupported on this platform)")
+	}
+	fmt.Printf("== Disk QPS: disk-resident single-pair queries vs goroutines, cache, and engine (preset %s, scale %g) ==\n",
 		*presetFlag, *scaleFlag)
-	fmt.Println("   (cache rows are pre-warmed; speedup is relative to the first -threads entry)")
+	fmt.Println("   (cache rows are pre-warmed; speedup is relative to the first -threads entry of the same row group)")
+	var rows []diskQPSRow
 	w := newTab()
-	fmt.Fprintln(w, "dataset\tcache\tworkers\tqueries\ttotal\tqueries/s\tspeedup\thit rate")
+	fmt.Fprintln(w, "dataset\tbackend\tcache\tworkers\tqueries\ttotal\tqueries/s\tspeedup\thit rate\tallocs/op")
 	for _, spec := range specs {
 		g := spec.Generate(*scaleFlag)
 		ix, err := core.Build(g, &slingOpt)
@@ -903,13 +960,18 @@ func runDiskQPS() error {
 			return err
 		}
 		pairs := workload.RandomPairs(g, 4096, *seedFlag+17)
-		for _, mib := range caches {
-			d, err := core.OpenDiskIndex(path, g)
+		for _, cfg := range cfgs {
+			var d *core.DiskIndex
+			if cfg.backend == "mmap" {
+				d, err = core.OpenDiskIndexMmap(path, g)
+			} else {
+				d, err = core.OpenDiskIndex(path, g)
+			}
 			if err != nil {
 				os.RemoveAll(dir)
 				return err
 			}
-			cacheBytes := int64(mib * (1 << 20))
+			cacheBytes := int64(cfg.cacheMiB * (1 << 20))
 			if cacheBytes > 0 {
 				d.EnableCache(cacheBytes)
 			}
@@ -925,6 +987,12 @@ func runDiskQPS() error {
 					return err
 				}
 			}
+			apo, err := allocsPerOp(pool, pairs, *diskOpsFlag)
+			if err != nil {
+				d.Close()
+				os.RemoveAll(dir)
+				return err
+			}
 			var serial time.Duration
 			for _, th := range threads {
 				before := d.CacheStats()
@@ -939,24 +1007,40 @@ func runDiskQPS() error {
 					serial = elapsed
 				}
 				hit := "-"
+				hitRate := -1.0
 				if looked := (after.Hits - before.Hits) + (after.Misses - before.Misses); looked > 0 {
-					hit = fmt.Sprintf("%.0f%%", 100*float64(after.Hits-before.Hits)/float64(looked))
+					hitRate = float64(after.Hits-before.Hits) / float64(looked)
+					hit = fmt.Sprintf("%.0f%%", 100*hitRate)
 				}
 				cacheCol := "off"
 				if cacheBytes > 0 {
 					cacheCol = humanize.Bytes(cacheBytes)
 				}
-				fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%.0f\t%.2fx\t%s\n",
-					spec.Name, cacheCol, th, total, fmtDur(elapsed),
-					float64(total)/elapsed.Seconds(), float64(serial)/float64(elapsed), hit)
+				if cfg.backend == "mmap" {
+					cacheCol = "page"
+				}
+				fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%s\t%.0f\t%.2fx\t%s\t%.3f\n",
+					spec.Name, cfg.backend, cacheCol, th, total, fmtDur(elapsed),
+					float64(total)/elapsed.Seconds(), float64(serial)/float64(elapsed), hit, apo)
 				w.Flush()
+				rows = append(rows, diskQPSRow{
+					Dataset:     spec.Name,
+					Backend:     cfg.backend,
+					CacheMiB:    cfg.cacheMiB,
+					Workers:     th,
+					Queries:     total,
+					QPS:         float64(total) / elapsed.Seconds(),
+					Speedup:     float64(serial) / float64(elapsed),
+					HitRate:     hitRate,
+					AllocsPerOp: apo,
+				})
 			}
 			d.Close()
 		}
 		os.RemoveAll(dir)
 	}
 	fmt.Println()
-	return nil
+	return writeBenchJSON("BENCH_diskqps.json", rows, "diskqps")
 }
 
 // --------------------------------------------------------------- dynamic
@@ -1237,7 +1321,11 @@ func diskPairRun(pool *core.DiskScratchPool, pairs []workload.Pair, count, worke
 				}
 				p := pairs[i%len(pairs)]
 				if _, err := pool.SimRank(p.U, p.V); err != nil {
-					firstErr.CompareAndSwap(nil, &err)
+					// Copy before taking the address: &err on the loop
+					// variable would heap-allocate it every iteration,
+					// polluting the allocs/op this benchmark reports.
+					e := err
+					firstErr.CompareAndSwap(nil, &e)
 					return
 				}
 			}

@@ -3,14 +3,18 @@
 // at startup.
 //
 //	slingserver -graph g.txt [-undirected] [-index idx.sling] [-eps 0.025] [-addr :8080] [-batch-workers N]
-//	slingserver -graph g.txt -index idx.sling -disk [-cache-bytes N]
+//	slingserver -graph g.txt -index idx.sling -disk [-mmap] [-cache-bytes N]
 //	slingserver -graph g.txt -dynamic [-rebuild-threshold N] [-dyn-walks N] [-dyn-depth N] [-durable DIR]
 //	slingserver -catalog manifest.json [-addr :8080]
 //
 // With -disk the index file stays on disk (Section 5.4): only O(n)
 // metadata is memory-resident, queries fetch HP entries with concurrent
 // positioned reads over pooled scratch, and -cache-bytes bounds a
-// sharded LRU cache of decoded entries so hot nodes skip I/O.
+// sharded LRU cache of decoded entries so hot nodes skip I/O. Adding
+// -mmap memory-maps the index instead and serves the entries as
+// zero-copy typed views — no read syscalls, no decode, the OS page
+// cache is the only cache (-cache-bytes is then ignored); on platforms
+// without mmap support it falls back to positioned reads and says so.
 //
 // With -dynamic the graph accepts edge updates while serving: POST
 // /update applies add/remove operations, queries touching updated
@@ -67,7 +71,8 @@ func main() {
 	batchWorkers := flag.Int("batch-workers", 0, "concurrent ops per /batch request (default GOMAXPROCS)")
 	maxBatchOps := flag.Int("max-batch-ops", 0, "max ops per /batch request (default 4096)")
 	disk := flag.Bool("disk", false, "serve disk-resident from -index: only O(n) metadata in memory")
-	cacheBytes := flag.Int64("cache-bytes", 0, "entry-cache budget for -disk mode (0 = no cache)")
+	useMmap := flag.Bool("mmap", false, "with -disk: memory-map the index and serve zero-copy (falls back to positioned reads where unsupported)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "entry-cache budget for -disk mode (0 = no cache; ignored with -mmap)")
 	dynamic := flag.Bool("dynamic", false, "accept edge updates while serving (POST /update, /rebuild)")
 	rebuildThreshold := flag.Int("rebuild-threshold", 0, "applied update ops that trigger a background rebuild (0 = manual)")
 	dynWalks := flag.Int("dyn-walks", 4096, "MC walks per affected-node estimate in -dynamic mode (0 = derive the guaranteed count)")
@@ -107,6 +112,11 @@ func main() {
 	}
 	if *disk && *indexPath == "" {
 		fmt.Fprintln(os.Stderr, "slingserver: -disk requires -index (build one with slingtool)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *useMmap && !*disk {
+		fmt.Fprintln(os.Stderr, "slingserver: -mmap requires -disk (it maps the on-disk index)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -180,13 +190,19 @@ func main() {
 			log.Fatalf("creating server: %v", err)
 		}
 	} else if *disk {
-		di, err := sling.OpenDiskWithOptions(*indexPath, g, &sling.DiskOptions{CacheBytes: *cacheBytes})
+		di, err := sling.OpenDiskWithOptions(*indexPath, g, &sling.DiskOptions{CacheBytes: *cacheBytes, Mmap: *useMmap})
 		if err != nil {
 			log.Fatalf("opening disk index: %v", err)
 		}
 		defer di.Close()
-		log.Printf("disk index %s: %d entries on disk, %s resident, cache budget %d bytes",
-			*indexPath, di.NumEntries(), humanize.Bytes(di.Bytes()), *cacheBytes)
+		mode := "positioned reads"
+		if di.Mapped() {
+			mode = "memory-mapped (zero-copy)"
+		} else if *useMmap {
+			mode = "positioned reads (mmap unsupported here; fell back)"
+		}
+		log.Printf("disk index %s: %d entries on disk, %s resident, %s, cache budget %d bytes",
+			*indexPath, di.NumEntries(), humanize.Bytes(di.Bytes()), mode, *cacheBytes)
 		handler, err = server.NewDisk(di, labels, cfg)
 		if err != nil {
 			log.Fatalf("creating server: %v", err)

@@ -1,6 +1,7 @@
 // Command slingvet runs the repository's custom analyzer suite
 // (internal/analysis): the static checks that mechanically enforce
-// SLING's determinism, cancellation, and pooling invariants.
+// SLING's determinism, cancellation, pooling, and unsafe-confinement
+// invariants.
 //
 // Standalone mode (the usual way, what CI runs):
 //

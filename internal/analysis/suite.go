@@ -13,6 +13,7 @@ import (
 	"sling/internal/analysis/noderangeerr"
 	"sling/internal/analysis/poolpair"
 	"sling/internal/analysis/seededrand"
+	"sling/internal/analysis/unsafeconfine"
 )
 
 // Suite returns every slingvet analyzer, in stable order.
@@ -24,5 +25,6 @@ func Suite() []*framework.Analyzer {
 		noderangeerr.Analyzer,
 		poolpair.Analyzer,
 		seededrand.Analyzer,
+		unsafeconfine.Analyzer,
 	}
 }

@@ -1,0 +1,12 @@
+// Package a violates the unsafeconfine invariant: it reinterprets
+// bytes with unsafe directly instead of going through the audited
+// views in sling/internal/mmap.
+package a
+
+import (
+	"unsafe" // want `import of unsafe is forbidden outside sling/internal/mmap`
+)
+
+func AsU64(b []byte) []uint64 {
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

@@ -1,0 +1,13 @@
+// Package b satisfies the unsafeconfine invariant: byte decoding goes
+// through encoding/binary, no reinterpretation needed.
+package b
+
+import "encoding/binary"
+
+func AsU64(b []byte) []uint64 {
+	out := make([]uint64, 0, len(b)/8)
+	for i := 0; i+8 <= len(b); i += 8 {
+		out = append(out, binary.LittleEndian.Uint64(b[i:]))
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package unsafeconfine_test
+
+import (
+	"testing"
+
+	"sling/internal/analysis/analysistest"
+	"sling/internal/analysis/unsafeconfine"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, unsafeconfine.Analyzer, "./testdata/src/a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, unsafeconfine.Analyzer, "./testdata/src/b")
+}

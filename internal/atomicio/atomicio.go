@@ -1,0 +1,59 @@
+// Package atomicio centralizes the repository's atomic file-write
+// idiom: content is assembled under a .tmp sibling, fsynced, renamed
+// into place, and the parent directory is fsynced so the rename itself
+// is durable. A crash at any point leaves either the old file or the
+// new file at the final path — never a truncated hybrid. The durable
+// WAL/snapshot layer pioneered the pattern; index SaveFile and every
+// build-output writer now share this one implementation.
+package atomicio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with whatever write produces. The
+// write callback receives the temporary file as an io.Writer; any error
+// it returns (e.g. a short write) aborts the operation, removes the
+// temporary file, and leaves an existing file at path untouched.
+func WriteFile(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so renames and creates within it are
+// durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

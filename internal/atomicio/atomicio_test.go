@@ -1,0 +1,86 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("old contents"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new contents"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new contents" {
+		t.Fatalf("file holds %q, want %q", got, "new contents")
+	}
+	assertNoTmp(t, dir)
+}
+
+// A write that fails partway through — the crash/short-write scenario —
+// must leave the pre-existing file untouched and clean up its temp file.
+// Before SaveFile adopted this idiom it created the destination in
+// place, so the same failure left a truncated file at the final path.
+func TestWriteFileShortWriteKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("precious old index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	err := WriteFile(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("half of the new")); err != nil {
+			return err
+		}
+		return boom // fail after a partial write
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "precious old index" {
+		t.Fatalf("old file clobbered: now holds %q", got)
+	}
+	assertNoTmp(t, dir)
+}
+
+func TestWriteFileFreshPathOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.bin")
+	boom := errors.New("boom")
+	if err := WriteFile(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed write left a file at the final path (stat err = %v)", err)
+	}
+	assertNoTmp(t, dir)
+}
+
+func assertNoTmp(t *testing.T, dir string) {
+	t.Helper()
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+}

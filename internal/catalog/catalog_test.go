@@ -455,6 +455,7 @@ func TestManifestValidate(t *testing.T) {
 		{"bad mode", Manifest{Graphs: []GraphSpec{{ID: "g", Graph: "x", Mode: "turbo"}}}},
 		{"dynamic undirected", Manifest{Graphs: []GraphSpec{{ID: "g", Graph: "x", Mode: "dynamic", Undirected: true}}}},
 		{"durable non-dynamic", Manifest{Graphs: []GraphSpec{{ID: "g", Graph: "x", DurableDir: "d"}}}},
+		{"mmap non-disk", Manifest{Graphs: []GraphSpec{{ID: "g", Graph: "x", Mmap: true}}}},
 		{"bad default", Manifest{Graphs: []GraphSpec{base}, Default: "zzz"}},
 		{"neg quota", Manifest{Graphs: []GraphSpec{{ID: "g", Graph: "x", MaxQPS: -1}}}},
 		{"neg budget", Manifest{Graphs: []GraphSpec{base}, MemoryBudgetBytes: -1}},

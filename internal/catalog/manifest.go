@@ -32,7 +32,12 @@ type GraphSpec struct {
 	Workers int     `json:"workers,omitempty"`
 
 	// CacheBytes bounds the disk-mode entry cache (0 = no cache).
+	// Ignored when Mmap maps the index.
 	CacheBytes int64 `json:"cache_bytes,omitempty"`
+	// Mmap serves a disk-mode index from a zero-copy memory mapping
+	// instead of positioned reads, falling back silently where the
+	// platform cannot map. Requires disk mode.
+	Mmap bool `json:"mmap,omitempty"`
 
 	// Dynamic-mode tuning, as sling.DynamicOptions.
 	RebuildThreshold int `json:"rebuild_threshold,omitempty"`
@@ -118,6 +123,9 @@ func (m *Manifest) Validate() error {
 		}
 		if s.DurableDir != "" && s.mode() != "dynamic" {
 			return fmt.Errorf("catalog: graph %q: durable_dir requires dynamic mode", s.ID)
+		}
+		if s.Mmap && s.mode() != "disk" {
+			return fmt.Errorf("catalog: graph %q: mmap requires disk mode", s.ID)
 		}
 		if s.Mode == "dynamic" && s.Undirected {
 			// Same invariant slingserver enforces: directed updates on a

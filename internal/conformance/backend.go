@@ -389,6 +389,27 @@ func NewStaticSet(g *sling.Graph, opt *sling.Options, dir string, withHTTP bool)
 	set.Others = append(set.Others, NamedBackend(di, "disk"))
 	set.BuildMS["disk"] = ms
 
+	// The zero-copy mapped mode shares the ReadAt index's file and query
+	// code, so its cell asserts bitwise equality of the whole matrix
+	// against every other backend. Platforms without mmap (or with
+	// big-endian byte order) skip the cell — the facade would silently
+	// fall back and the cell would duplicate "disk".
+	if sling.MmapSupported() {
+		mdi, ms, err := timed(func() (*sling.DiskIndex, error) {
+			return sling.OpenDiskWithOptions(path, g, &sling.DiskOptions{Mmap: true})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("conformance: opening mmap disk index: %w", err)
+		}
+		if !mdi.Mapped() {
+			mdi.Close()
+			return nil, fmt.Errorf("conformance: mmap mode requested but not mapped")
+		}
+		set.closers = append(set.closers, mdi.Close)
+		set.Others = append(set.Others, NamedBackend(mdi, "mmap"))
+		set.BuildMS["mmap"] = ms
+	}
+
 	ooc, ms, err := timed(func() (*sling.Index, error) {
 		return sling.BuildOutOfCore(g, dir, 1<<20, sling.WithOptions(*opt))
 	})

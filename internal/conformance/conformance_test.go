@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"sling"
 	"sling/internal/workload"
 )
 
@@ -58,6 +59,9 @@ func TestMatrix(t *testing.T) {
 		"memory", "disk", "ooc", "dynamic-stale", "dynamic-rebuilt",
 		"dynamic-restored-stale", "dynamic-restored",
 		"http-memory", "http-disk", "http-dynamic",
+	}
+	if sling.MmapSupported() {
+		wantBackends = append(wantBackends, "mmap")
 	}
 	sort.Strings(wantBackends)
 	if len(rep.Backends) != len(wantBackends) {

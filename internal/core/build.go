@@ -170,21 +170,41 @@ func mixSeed(seed uint64, v int) uint64 {
 	return z ^ (z >> 31)
 }
 
-// kvSorter sorts keys and vals in lockstep by key.
-type kvSorter struct {
-	keys []uint64
-	vals []float64
-}
-
-func (s kvSorter) Len() int           { return len(s.keys) }
-func (s kvSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
-func (s kvSorter) Swap(i, j int) {
-	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
-	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
-}
-
+// sortEntries sorts keys and vals in lockstep by key, with an in-place
+// heapsort rather than sort.Sort: boxing a two-slice sorter into
+// sort.Interface heap-allocates on every call, and sortEntries sits on
+// the query path (expandMarks), where the mapped disk mode promises
+// allocation-free queries. Keys within one node's H(v) are unique
+// (step, node) pairs except for the pre-fold additions in expandMarks,
+// so stability is not relied on.
 func sortEntries(keys []uint64, vals []float64) {
-	sort.Sort(kvSorter{keys, vals})
+	n := len(keys)
+	for root := n/2 - 1; root >= 0; root-- {
+		siftEntries(keys, vals, root, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		keys[0], keys[end] = keys[end], keys[0]
+		vals[0], vals[end] = vals[end], vals[0]
+		siftEntries(keys, vals, 0, end)
+	}
+}
+
+func siftEntries(keys []uint64, vals []float64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && keys[child+1] > keys[child] {
+			child++
+		}
+		if keys[root] >= keys[child] {
+			return
+		}
+		keys[root], keys[child] = keys[child], keys[root]
+		vals[root], vals[child] = vals[child], vals[root]
+		root = child
+	}
 }
 
 // buildMarks implements the Section 5.3 build-time step: for each node,

@@ -86,17 +86,25 @@ func (d *DiskIndex) SingleSourceBatch(ctx context.Context, us []graph.NodeID, wo
 			s := d.NewScratch()
 			ss := d.meta.NewSourceScratch()
 			for {
-				if err := CtxErr(ctx); err != nil {
-					firstErr.CompareAndSwap(nil, &err)
-					return
-				}
+				// Claim before checking ctx: a worker that finds the work
+				// list exhausted returns cleanly, so a ctx cancelled after
+				// the last source cannot turn a fully-computed batch into
+				// an error.
 				i := int(next.Add(1)) - 1
 				if i >= len(us) || firstErr.Load() != nil {
 					return
 				}
+				// Error values are copied before their address is taken so
+				// the happy path never heap-allocates an error variable.
+				if err := CtxErr(ctx); err != nil {
+					e := err
+					firstErr.CompareAndSwap(nil, &e)
+					return
+				}
 				row, err := d.SingleSource(us[i], s, ss, make([]float64, n))
 				if err != nil {
-					firstErr.CompareAndSwap(nil, &err)
+					e := err
+					firstErr.CompareAndSwap(nil, &e)
 					return
 				}
 				out[i] = row

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"sling/internal/graph"
 )
@@ -60,7 +60,9 @@ func (x *Index) appendExactSteps12(v graph.NodeID, s *Scratch, keys []uint64, va
 			s.acc[y] += add
 		}
 	}
-	sort.Slice(s.touched, func(i, j int) bool { return s.touched[i] < s.touched[j] })
+	// slices.Sort, not sort.Slice: the closure-into-interface boxing
+	// would allocate on a query path that must stay allocation-free.
+	slices.Sort(s.touched)
 	for _, y := range s.touched {
 		keys = append(keys, entryKey(2, y))
 		vals = append(vals, s.acc[y])

@@ -9,7 +9,9 @@ import (
 	"math"
 	"os"
 
+	"sling/internal/atomicio"
 	"sling/internal/graph"
+	"sling/internal/mmap"
 )
 
 // Index file format (all little-endian):
@@ -22,15 +24,22 @@ import (
 //	off      (n+1) × i64
 //	markOff  (n+1) × i64
 //	marks    numMarks × i32
-//	entries  numEntries × (key u64, val f64)   ← interleaved for preads
+//	align    0–7 zero bytes so the keys region starts 8-byte aligned
+//	keys     numEntries × u64    ← columnar, 8-byte aligned
+//	vals     numEntries × f64    ← columnar, 8-byte aligned
 //
-// Everything before the entries region is O(n) and loaded eagerly; the
-// entries region supports the paper's Section 5.4 disk-resident mode: a
-// single-pair query reads two contiguous node ranges with positioned
-// reads, a constant I/O cost since each H(v) is O(1/ε) bytes.
+// Everything before the entries regions is O(n) and loaded eagerly; the
+// keys/vals regions support the paper's Section 5.4 disk-resident mode:
+// a single-pair query reads two contiguous node ranges per region with
+// positioned reads, a constant I/O cost since each H(v) is O(1/ε)
+// bytes. Version 2 stores the entries columnar (all keys, then all
+// vals) with deterministic alignment padding, so an mmap'd file can be
+// reinterpreted directly as []uint64 / []float64 views — the zero-copy
+// serving mode — while the ReadAt path reads the same two ranges it
+// always did.
 const (
 	indexMagic   = "SLIX"
-	indexVersion = 1
+	indexVersion = 2
 
 	flagEnhance        = 1 << 0
 	flagSpaceReduction = 1 << 1
@@ -51,9 +60,25 @@ func (x *Index) flags() uint32 {
 	return f
 }
 
-// WriteTo serializes the index. It implements io.WriterTo.
+// alignPad returns the number of zero bytes between the marks region
+// (ending at off) and the keys region, sized so keys starts 8-byte
+// aligned. It is a pure function of the header counts, so reader and
+// writer always agree.
+func alignPad(off int64) int64 { return (8 - off%8) % 8 }
+
+// metaSize returns the byte offset where the alignment padding starts:
+// header plus every O(n) metadata region.
+func metaSize(n int, numMarks int64) int64 {
+	return 92 + int64(8*n) + int64((n+7)/8) + 2*int64(8*(n+1)) + 4*numMarks
+}
+
+// WriteTo serializes the index. It implements io.WriterTo. The
+// returned count is the number of bytes the underlying writer actually
+// accepted: counting sits beneath the internal buffer, so a failed
+// flush cannot over-report buffered-but-unwritten bytes.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
-	cw := &countWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<20)
 	n := len(x.d)
 	hdr := make([]byte, 4+4+4+4+4+6*8+8+8+8)
 	copy(hdr, indexMagic)
@@ -71,13 +96,13 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	le.PutUint64(hdr[68:], x.prm.seed)
 	le.PutUint64(hdr[76:], uint64(len(x.keys)))
 	le.PutUint64(hdr[84:], uint64(len(x.marks)))
-	if _, err := cw.Write(hdr); err != nil {
+	if _, err := bw.Write(hdr); err != nil {
 		return cw.n, err
 	}
 	buf := make([]byte, 16)
 	for _, v := range x.d {
 		le.PutUint64(buf, math.Float64bits(v))
-		if _, err := cw.Write(buf[:8]); err != nil {
+		if _, err := bw.Write(buf[:8]); err != nil {
 			return cw.n, err
 		}
 	}
@@ -87,38 +112,47 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 			bitmap[v/8] |= 1 << (v % 8)
 		}
 	}
-	if _, err := cw.Write(bitmap); err != nil {
+	if _, err := bw.Write(bitmap); err != nil {
 		return cw.n, err
 	}
 	for _, o := range x.off {
 		le.PutUint64(buf, uint64(o))
-		if _, err := cw.Write(buf[:8]); err != nil {
+		if _, err := bw.Write(buf[:8]); err != nil {
 			return cw.n, err
 		}
 	}
 	for _, o := range x.markOff {
 		le.PutUint64(buf, uint64(o))
-		if _, err := cw.Write(buf[:8]); err != nil {
+		if _, err := bw.Write(buf[:8]); err != nil {
 			return cw.n, err
 		}
 	}
 	for _, m := range x.marks {
 		le.PutUint32(buf, uint32(m))
-		if _, err := cw.Write(buf[:4]); err != nil {
+		if _, err := bw.Write(buf[:4]); err != nil {
 			return cw.n, err
 		}
 	}
-	for i := range x.keys {
-		le.PutUint64(buf, x.keys[i])
-		le.PutUint64(buf[8:], math.Float64bits(x.vals[i]))
-		if _, err := cw.Write(buf); err != nil {
+	var zeros [8]byte
+	if pad := alignPad(metaSize(n, int64(len(x.marks)))); pad > 0 {
+		if _, err := bw.Write(zeros[:pad]); err != nil {
 			return cw.n, err
 		}
 	}
-	if bw, ok := cw.w.(*bufio.Writer); ok {
-		if err := bw.Flush(); err != nil {
+	for _, k := range x.keys {
+		le.PutUint64(buf, k)
+		if _, err := bw.Write(buf[:8]); err != nil {
 			return cw.n, err
 		}
+	}
+	for _, v := range x.vals {
+		le.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
 	}
 	return cw.n, nil
 }
@@ -134,22 +168,20 @@ func (c *countWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// SaveFile writes the index to path.
+// SaveFile writes the index to path atomically: the bytes are
+// assembled under a temporary sibling, fsynced, and renamed into
+// place, so a crash mid-write can never leave a truncated SLIX file at
+// the final path.
 func (x *Index) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := x.WriteTo(w)
 		return err
-	}
-	if _, err := x.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
-// readMeta parses everything before the entries region into a skeleton
-// Index (keys/vals empty) and returns the byte offset of the entries
-// region and the entry count.
+// readMeta parses everything before the entries regions into a skeleton
+// Index (keys/vals empty), consuming the alignment padding, and returns
+// the byte offset of the keys region and the entry count.
 func readMeta(r io.Reader, g *graph.Graph) (*Index, int64, int64, error) {
 	le := binary.LittleEndian
 	hdr := make([]byte, 92)
@@ -261,8 +293,20 @@ func readMeta(r io.Reader, g *graph.Graph) (*Index, int64, int64, error) {
 			}
 		}
 	}
-	entriesOff := int64(92) + int64(8*n) + int64(len(bitmap)) + 2*int64(8*(n+1)) + 4*numMarks
-	return x, entriesOff, numEntries, nil
+	meta := metaSize(n, numMarks)
+	var padBuf [8]byte
+	pad := alignPad(meta)
+	if pad > 0 {
+		if _, err := io.ReadFull(r, padBuf[:pad]); err != nil {
+			return nil, 0, 0, fmt.Errorf("core: reading alignment padding: %w", err)
+		}
+		for _, b := range padBuf[:pad] {
+			if b != 0 {
+				return nil, 0, 0, errors.New("core: non-zero alignment padding")
+			}
+		}
+	}
+	return x, meta + pad, numEntries, nil
 }
 
 // readChunkedU64 reads count little-endian uint64s, growing the result
@@ -328,17 +372,18 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	le := binary.LittleEndian
-	const chunk = 1 << 16
-	x.keys = make([]uint64, 0, min64(numEntries, chunk))
-	x.vals = make([]float64, 0, min64(numEntries, chunk))
-	buf := make([]byte, 16)
-	for i := int64(0); i < numEntries; i++ {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("core: reading entries: %w", err)
-		}
-		x.keys = append(x.keys, le.Uint64(buf))
-		x.vals = append(x.vals, math.Float64frombits(le.Uint64(buf[8:])))
+	keys, err := readChunkedU64(br, numEntries, "entry keys")
+	if err != nil {
+		return nil, err
+	}
+	valBits, err := readChunkedU64(br, numEntries, "entry values")
+	if err != nil {
+		return nil, err
+	}
+	x.keys = keys
+	x.vals = make([]float64, numEntries)
+	for i, b := range valBits {
+		x.vals[i] = math.Float64frombits(b)
 	}
 	return x, nil
 }
@@ -353,20 +398,41 @@ func LoadFile(path string, g *graph.Graph) (*Index, error) {
 	return ReadIndex(f, g)
 }
 
+// ErrMmapUnsupported reports that this platform or byte order cannot
+// serve the zero-copy mapped mode; callers fall back to OpenDiskIndex.
+var ErrMmapUnsupported = mmap.ErrUnsupported
+
+// MmapSupported reports whether OpenDiskIndexMmap can serve here
+// (platform mmap support and a little-endian CPU).
+func MmapSupported() bool { return mmap.Supported() }
+
 // DiskIndex answers queries against an index whose HP entries stay on
 // disk (Section 5.4): only the O(n) metadata (correction factors, flags,
 // offsets) is memory-resident, and each query fetches the two relevant
 // H(v) ranges with positioned reads — a constant I/O cost per query.
+// Opened with OpenDiskIndexMmap, the entries regions are instead
+// memory-mapped and served as zero-copy typed views, making the OS
+// page cache the only cache.
 type DiskIndex struct {
 	meta       *Index
 	f          *os.File
-	entriesOff int64
+	entriesOff int64 // keys region offset (8-byte aligned)
+	valsOff    int64 // vals region offset
 	numEntries int64
 	cache      *EntryCache
+
+	// mmap serving mode: when mapped is true, mkeys/mvals are typed
+	// views over mm and fetch is pure slicing — zero copies, zero
+	// allocations, no cache.
+	mapped bool
+	mm     *mmap.Mapping
+	mkeys  []uint64
+	mvals  []float64
 }
 
-// OpenDiskIndex memory-maps nothing and loads only metadata from path.
-func OpenDiskIndex(path string, g *graph.Graph) (*DiskIndex, error) {
+// openDiskFile opens and validates path, returning the populated
+// (ReadAt-mode) DiskIndex.
+func openDiskFile(path string, g *graph.Graph) (*DiskIndex, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -377,8 +443,9 @@ func OpenDiskIndex(path string, g *graph.Graph) (*DiskIndex, error) {
 		return nil, err
 	}
 	// The offset table was validated monotone with off[n] == numEntries;
-	// cross-check the claimed entries region against the actual file size
-	// so positioned reads cannot be steered past the end.
+	// cross-check the claimed entries regions against the actual file
+	// size so positioned reads (or the mapped views) cannot be steered
+	// past the end.
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -389,11 +456,72 @@ func OpenDiskIndex(path string, g *graph.Graph) (*DiskIndex, error) {
 		return nil, fmt.Errorf("core: index file size %d does not match header (want %d)",
 			st.Size(), entriesOff+numEntries*16)
 	}
-	return &DiskIndex{meta: meta, f: f, entriesOff: entriesOff, numEntries: numEntries}, nil
+	return &DiskIndex{
+		meta:       meta,
+		f:          f,
+		entriesOff: entriesOff,
+		valsOff:    entriesOff + 8*numEntries,
+		numEntries: numEntries,
+	}, nil
 }
 
-// Close releases the underlying file.
-func (d *DiskIndex) Close() error { return d.f.Close() }
+// OpenDiskIndex memory-maps nothing and loads only metadata from path;
+// queries fetch entries with positioned reads.
+func OpenDiskIndex(path string, g *graph.Graph) (*DiskIndex, error) {
+	return openDiskFile(path, g)
+}
+
+// OpenDiskIndexMmap opens path like OpenDiskIndex but maps the file
+// and serves the entries regions as zero-copy typed views: fetch is
+// pointer arithmetic, the OS page cache is the only cache, and
+// EnableCache becomes a no-op. It validates everything OpenDiskIndex
+// validates (same metadata parse, same file-size cross-check) before
+// mapping, so every input the ReadAt loader rejects is rejected here
+// too. On platforms or byte orders where the reinterpretation is
+// invalid it fails with ErrMmapUnsupported and the caller falls back
+// to OpenDiskIndex.
+func OpenDiskIndexMmap(path string, g *graph.Graph) (*DiskIndex, error) {
+	d, err := openDiskFile(path, g)
+	if err != nil {
+		return nil, err
+	}
+	mm, err := mmap.Open(d.f, d.entriesOff+16*d.numEntries)
+	if err != nil {
+		d.f.Close()
+		return nil, err
+	}
+	data := mm.Bytes()
+	mkeys, err := mmap.U64(data[d.entriesOff:d.valsOff])
+	if err == nil {
+		d.mvals, err = mmap.F64(data[d.valsOff : d.valsOff+8*d.numEntries])
+	}
+	if err != nil {
+		mm.Close()
+		d.f.Close()
+		return nil, fmt.Errorf("core: mapping entries region: %w", err)
+	}
+	d.mkeys = mkeys
+	d.mm = mm
+	d.mapped = true
+	return d, nil
+}
+
+// Mapped reports whether the index serves from a zero-copy memory
+// mapping rather than positioned reads.
+func (d *DiskIndex) Mapped() bool { return d.mapped }
+
+// Close releases the mapping (if any) and the underlying file.
+func (d *DiskIndex) Close() error {
+	var err error
+	if d.mm != nil {
+		err = d.mm.Close()
+		d.mm, d.mkeys, d.mvals, d.mapped = nil, nil, nil, false
+	}
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // Meta exposes the O(n) in-memory part (graph, parameters, d̃, stats).
 func (d *DiskIndex) Meta() *Index { return d.meta }
@@ -402,9 +530,16 @@ func (d *DiskIndex) Meta() *Index { return d.meta }
 func (d *DiskIndex) NumEntries() int64 { return d.numEntries }
 
 // EnableCache attaches a sharded LRU cache of decoded entry lists,
-// bounded by maxBytes, so hot nodes skip the pread entirely. Call before
-// serving; it is not safe to swap the cache mid-query.
-func (d *DiskIndex) EnableCache(maxBytes int64) { d.cache = NewEntryCache(maxBytes) }
+// bounded by maxBytes, so hot nodes skip the pread entirely. Call
+// before serving; it is not safe to swap the cache mid-query. In
+// mapped mode the page cache already serves every fetch with zero
+// copies, so EnableCache is a no-op there.
+func (d *DiskIndex) EnableCache(maxBytes int64) {
+	if d.mapped {
+		return
+	}
+	d.cache = NewEntryCache(maxBytes)
+}
 
 // CacheStats reports entry-cache hit/miss/occupancy counters (zero
 // values when no cache is enabled).
@@ -425,31 +560,40 @@ func (d *DiskIndex) NewScratch() *DiskScratch {
 	return &DiskScratch{q: d.meta.NewScratch()}
 }
 
-// fetch reads node v's stored entries from disk into the given buffers,
+// fetch returns node v's stored entries. In mapped mode it slices the
+// typed views directly — zero copies, zero allocations. Otherwise it
+// reads the keys and vals ranges from disk into the given buffers,
 // consulting (and on miss, populating) the entry cache when one is
-// enabled. Cache hits return cache-owned slices; both paths hand the
-// caller a read-only view.
+// enabled. All paths hand the caller a read-only view.
 func (d *DiskIndex) fetch(v graph.NodeID, s *DiskScratch, keys *[]uint64, vals *[]float64) ([]uint64, []float64, error) {
+	lo, hi := d.meta.off[v], d.meta.off[v+1]
+	if d.mapped {
+		return d.mkeys[lo:hi], d.mvals[lo:hi], nil
+	}
 	if d.cache != nil {
 		if k, val, ok := d.cache.Get(int32(v)); ok {
 			return k, val, nil
 		}
 	}
-	lo, hi := d.meta.off[v], d.meta.off[v+1]
 	cnt := int(hi - lo)
 	need := cnt * 16
 	if cap(s.raw) < need {
 		s.raw = make([]byte, need)
 	}
 	raw := s.raw[:need]
-	if _, err := d.f.ReadAt(raw, d.entriesOff+lo*16); err != nil {
-		return nil, nil, fmt.Errorf("core: disk index read for node %d: %w", v, err)
+	if _, err := d.f.ReadAt(raw[:8*cnt], d.entriesOff+lo*8); err != nil {
+		return nil, nil, fmt.Errorf("core: disk index key read for node %d: %w", v, err)
+	}
+	if _, err := d.f.ReadAt(raw[8*cnt:], d.valsOff+lo*8); err != nil {
+		return nil, nil, fmt.Errorf("core: disk index value read for node %d: %w", v, err)
 	}
 	k, val := (*keys)[:0], (*vals)[:0]
 	le := binary.LittleEndian
 	for i := 0; i < cnt; i++ {
-		k = append(k, le.Uint64(raw[16*i:]))
-		val = append(val, math.Float64frombits(le.Uint64(raw[16*i+8:])))
+		k = append(k, le.Uint64(raw[8*i:]))
+	}
+	for i := 0; i < cnt; i++ {
+		val = append(val, math.Float64frombits(le.Uint64(raw[8*cnt+8*i:])))
 	}
 	*keys, *vals = k, val
 	if d.cache != nil {
@@ -493,7 +637,8 @@ func (d *DiskIndex) SingleSource(u graph.NodeID, s *DiskScratch, ss *SourceScrat
 	return out, nil
 }
 
-// SimRank answers a single-pair query with two positioned reads.
+// SimRank answers a single-pair query with two positioned reads (or two
+// zero-copy view slices in mapped mode).
 func (d *DiskIndex) SimRank(u, v graph.NodeID, s *DiskScratch) (float64, error) {
 	if s == nil {
 		s = d.NewScratch()

@@ -145,7 +145,9 @@ func CtxErr(ctx context.Context) error {
 //
 // ctx is observed between per-source units: once it is cancelled no new
 // source starts (in-flight sources finish) and ctx.Err() is returned, so
-// an abandoned batch stops burning CPU at source granularity.
+// an abandoned batch stops burning CPU at source granularity. A ctx
+// cancelled only after the last source was claimed does not fail the
+// batch — completed work is returned, not discarded.
 func (x *Index) forEachSource(ctx context.Context, count, workers int, fn func(i int, s *SourceScratch)) error {
 	if workers <= 0 {
 		workers = x.prm.workers
@@ -164,6 +166,7 @@ func (x *Index) forEachSource(ctx context.Context, count, workers int, fn func(i
 		return nil
 	}
 	var next atomic.Int64
+	var aborted atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -171,11 +174,15 @@ func (x *Index) forEachSource(ctx context.Context, count, workers int, fn func(i
 			defer wg.Done()
 			s := x.NewSourceScratch()
 			for {
-				if CtxErr(ctx) != nil {
-					return
-				}
+				// Claim before checking ctx: a worker that finds the work
+				// exhausted returns cleanly, so a ctx cancelled after the
+				// last source leaves a fully-computed batch intact.
 				i := int(next.Add(1)) - 1
 				if i >= count {
+					return
+				}
+				if CtxErr(ctx) != nil {
+					aborted.Store(true)
 					return
 				}
 				fn(i, s)
@@ -183,7 +190,10 @@ func (x *Index) forEachSource(ctx context.Context, count, workers int, fn func(i
 		}()
 	}
 	wg.Wait()
-	return CtxErr(ctx)
+	if aborted.Load() {
+		return CtxErr(ctx)
+	}
+	return nil
 }
 
 // SingleSourceBatch answers one single-source query per source in us,

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"sling/internal/atomicio"
 )
 
 // segMeta is the in-memory card for one on-disk segment.
@@ -474,12 +476,5 @@ func (l *Log) Close() error {
 }
 
 // syncDir fsyncs a directory so renames and creates within it are
-// durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
+// durable (shared atomic-write idiom; see internal/atomicio).
+func syncDir(dir string) error { return atomicio.SyncDir(dir) }

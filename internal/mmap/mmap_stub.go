@@ -1,0 +1,11 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package mmap
+
+import "os"
+
+const platformSupported = false
+
+func mapFile(f *os.File, size int) ([]byte, error) { return nil, ErrUnsupported }
+
+func unmap(data []byte) error { return nil }

@@ -1,0 +1,16 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package mmap
+
+import (
+	"os"
+	"syscall"
+)
+
+const platformSupported = true
+
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,53 @@
+package mmap
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// hostLittleEndian reports the CPU byte order; a big-endian host cannot
+// view little-endian file bytes as native integers.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// U64 reinterprets b as a []uint64 view sharing b's memory. The slice
+// must be 8-byte aligned and a whole number of words; violations error
+// rather than producing a torn view.
+func U64(b []byte) ([]uint64, error) {
+	p, n, err := wordBase(b)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	return unsafe.Slice((*uint64)(p), n), nil
+}
+
+// F64 is U64 for float64 values (same representation width; the bit
+// patterns are the file's little-endian IEEE 754 doubles).
+func F64(b []byte) ([]float64, error) {
+	p, n, err := wordBase(b)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	return unsafe.Slice((*float64)(p), n), nil
+}
+
+// wordBase validates b for a 64-bit word view and returns its base
+// pointer and word count.
+func wordBase(b []byte) (unsafe.Pointer, int, error) {
+	if !hostLittleEndian {
+		return nil, 0, ErrUnsupported
+	}
+	if len(b)%8 != 0 {
+		return nil, 0, fmt.Errorf("mmap: region of %d bytes is not a whole number of 64-bit words", len(b))
+	}
+	if len(b) == 0 {
+		return nil, 0, nil
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if uintptr(p)%8 != 0 {
+		return nil, 0, fmt.Errorf("mmap: region is not 8-byte aligned")
+	}
+	return p, len(b) / 8, nil
+}

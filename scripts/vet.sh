@@ -8,7 +8,8 @@
 #                        optional so a bare container can still vet
 #   3. slingvet        — the repo's own analyzer suite (cmd/slingvet):
 #                        determinism, cancellation, pooling, error
-#                        contract, and metrics-schema invariants
+#                        contract, metrics-schema, and unsafe-confinement
+#                        invariants
 #
 # Usage: scripts/vet.sh [packages...]   (default ./...)
 set -euo pipefail

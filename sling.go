@@ -37,6 +37,7 @@ package sling
 
 import (
 	"context"
+	"errors"
 	"io"
 	"runtime"
 
@@ -290,10 +291,23 @@ type DiskOptions struct {
 	// CacheBytes bounds the in-memory entry cache (decoded H(v) lists for
 	// recently-read nodes). 0 disables caching; small positive budgets
 	// are rounded up to a ~64 KiB floor rather than silently disabling.
+	// Ignored in mapped mode, where the OS page cache is the only cache.
 	CacheBytes int64
 	// Workers bounds SingleSourceBatch fan-out. Default GOMAXPROCS.
 	Workers int
+	// Mmap memory-maps the index file and serves the entries regions as
+	// zero-copy typed views: fetch is pointer arithmetic with zero
+	// per-query allocations and the OS page cache is the only cache. On
+	// platforms or byte orders where the reinterpretation is invalid
+	// (no mmap, big-endian) opening silently falls back to the
+	// positioned-read path; Mapped reports which mode serves.
+	Mmap bool
 }
+
+// MmapSupported reports whether DiskOptions.Mmap can serve on this
+// platform (mmap available and little-endian byte order). When false,
+// Mmap requests fall back to positioned reads.
+func MmapSupported() bool { return core.MmapSupported() }
 
 // DiskCacheStats reports entry-cache hit/miss/occupancy counters.
 type DiskCacheStats = core.CacheStats
@@ -307,7 +321,18 @@ func OpenDisk(path string, g *Graph) (*DiskIndex, error) {
 // OpenDiskWithOptions is OpenDisk with explicit tuning; a nil or zero
 // options value takes the defaults.
 func OpenDiskWithOptions(path string, g *Graph, o *DiskOptions) (*DiskIndex, error) {
-	d, err := core.OpenDiskIndex(path, g)
+	var d *core.DiskIndex
+	var err error
+	if o != nil && o.Mmap {
+		d, err = core.OpenDiskIndexMmap(path, g)
+		if errors.Is(err, core.ErrMmapUnsupported) {
+			// Explicit platform fallback: the file is fine, only the
+			// zero-copy reinterpretation is unavailable here.
+			d, err = core.OpenDiskIndex(path, g)
+		}
+	} else {
+		d, err = core.OpenDiskIndex(path, g)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -322,6 +347,10 @@ func OpenDiskWithOptions(path string, g *Graph, o *DiskOptions) (*DiskIndex, err
 	}
 	return di, nil
 }
+
+// Mapped reports whether the index serves from a zero-copy memory
+// mapping (DiskOptions.Mmap honored) rather than positioned reads.
+func (di *DiskIndex) Mapped() bool { return di.d.Mapped() }
 
 // SimRank returns s̃(u, v) reading H(u) and H(v) from disk (or the entry
 // cache), with pooled scratch; safe for concurrent use.
@@ -390,10 +419,15 @@ func (di *DiskIndex) SourceTop(ctx context.Context, u NodeID, limit int) ([]Scor
 	return di.pool.SourceTop(u, limit)
 }
 
-// Meta describes the disk index as a Querier backend.
+// Meta describes the disk index as a Querier backend ("disk-mmap" when
+// the zero-copy mapped mode serves).
 func (di *DiskIndex) Meta() QuerierMeta {
+	name := "disk"
+	if di.d.Mapped() {
+		name = "disk-mmap"
+	}
 	return QuerierMeta{
-		Name:  "disk",
+		Name:  name,
 		Nodes: di.n,
 		C:     di.d.Meta().C(),
 		Eps:   di.d.Meta().ErrorBound(),
