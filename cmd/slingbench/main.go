@@ -42,6 +42,10 @@
 //	         memory, disk, and dynamic entries of a catalog server,
 //	         driven through the real /g/{id}/simrank HTTP routes; writes
 //	         BENCH_catalog.json (not a paper figure)
+//	sharded  scatter/gather QPS vs shard count: one dataset split into
+//	         in-process shards behind the internal/shard router, pair /
+//	         single-source / top-k latency at each fan-out width; writes
+//	         BENCH_sharded.json (not a paper figure)
 //	all      everything above
 //
 // The default "fast" preset uses ε=0.1 so the full sweep finishes on a
@@ -157,6 +161,10 @@ func run() error {
 			if err := runCatalog(); err != nil {
 				return err
 			}
+		case "sharded":
+			if err := runSharded(); err != nil {
+				return err
+			}
 		case "all":
 			runTable3()
 			if err := runPerf(); err != nil {
@@ -187,6 +195,9 @@ func run() error {
 				return err
 			}
 			if err := runCatalog(); err != nil {
+				return err
+			}
+			if err := runSharded(); err != nil {
 				return err
 			}
 		default:

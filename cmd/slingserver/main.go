@@ -6,6 +6,7 @@
 //	slingserver -graph g.txt -index idx.sling -disk [-mmap] [-cache-bytes N]
 //	slingserver -graph g.txt -dynamic [-rebuild-threshold N] [-dyn-walks N] [-dyn-depth N] [-durable DIR]
 //	slingserver -catalog manifest.json [-addr :8080]
+//	slingserver -shards manifest.json [-addr :8080]
 //
 // With -disk the index file stays on disk (Section 5.4): only O(n)
 // metadata is memory-resident, queries fetch HP entries with concurrent
@@ -28,6 +29,16 @@
 // journals (fsynced unless -durable-nosync) before it is acknowledged,
 // rebuild epoch swaps write snapshots, and POST /snapshot checkpoints on
 // demand.
+//
+// With -shards the server routes by scatter/gather over a sharded
+// deployment: the manifest (written by `slingtool shard split`) assigns
+// each shard a contiguous node range and either a per-shard SLIX file
+// (served in-process) or a base URL of a remote slingserver whose
+// /shard endpoints it drives. Pair queries join the two endpoints'
+// index fragments, single-source broadcasts the source fragment and
+// gathers per-shard score slices, and top-k merges per-shard k-pruned
+// lists — all bitwise-identical to serving the unsharded index. GET
+// /metrics exposes per-shard fan-out latency and error series.
 //
 // With -catalog the server is multi-tenant: the JSON manifest declares
 // many graphs (each memory, disk, or dynamic), lazily opened on first
@@ -56,8 +67,11 @@ import (
 
 	"sling"
 	"sling/internal/catalog"
+	"sling/internal/httpclient"
 	"sling/internal/humanize"
+	"sling/internal/metrics"
 	"sling/internal/server"
+	"sling/internal/shard"
 )
 
 func main() {
@@ -80,7 +94,26 @@ func main() {
 	durableDir := flag.String("durable", "", "durable state directory for -dynamic mode: updates journal to a WAL there, rebuilds snapshot, and restart restores instead of rebuilding")
 	durableNoSync := flag.Bool("durable-nosync", false, "skip fsync on WAL appends (faster; crash may lose the unsynced tail)")
 	catalogPath := flag.String("catalog", "", "graph-catalog manifest (JSON); serves many graphs, routing by /g/{id}/")
+	shardsPath := flag.String("shards", "", "shard routing manifest (slingtool shard split); serves scatter/gather over per-shard indexes")
 	flag.Parse()
+
+	if *shardsPath != "" {
+		if *graphPath != "" || *disk || *dynamic || *indexPath != "" || *catalogPath != "" {
+			fmt.Fprintln(os.Stderr, "slingserver: -shards carries its own graph and index configuration and is incompatible with -graph/-index/-disk/-dynamic/-catalog")
+			flag.Usage()
+			os.Exit(2)
+		}
+		handler, q, err := newSharded(*shardsPath, server.Config{
+			BatchWorkers: *batchWorkers,
+			MaxBatchOps:  *maxBatchOps,
+		})
+		if err != nil {
+			log.Fatalf("sharded mode: %v", err)
+		}
+		defer q.Close()
+		serve(*addr, handler)
+		return
+	}
 
 	if *catalogPath != "" {
 		if *graphPath != "" || *disk || *dynamic || *indexPath != "" {
@@ -231,6 +264,75 @@ func main() {
 	}
 
 	serve(*addr, handler)
+}
+
+// newSharded assembles the scatter/gather router from a shard manifest:
+// the shared graph, one client per shard (in-process over a SLIX file,
+// or remote over HTTP), and a server whose registry also carries the
+// router's per-shard fan-out instruments.
+func newSharded(manifestPath string, cfg server.Config) (http.Handler, *shard.Querier, error) {
+	m, err := shard.Load(manifestPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m.Graph == "" {
+		return nil, nil, fmt.Errorf("manifest %s names no graph", manifestPath)
+	}
+	g, labels, err := sling.LoadEdgeListFile(shard.Resolve(manifestPath, m.Graph), m.Undirected)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading graph: %w", err)
+	}
+	log.Printf("graph: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	clients := make([]shard.Client, len(m.Shards))
+	closeAll := func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	for i, si := range m.Shards {
+		switch {
+		case si.URL != "":
+			cl, err := httpclient.New(httpclient.Options{
+				BaseURL: si.URL, Nodes: m.Nodes, Name: fmt.Sprintf("shard%d", si.ID),
+			})
+			if err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			clients[i] = cl
+			log.Printf("shard %d: nodes [%d,%d) remote at %s", si.ID, si.Lo, si.Hi, si.URL)
+		case si.Path != "":
+			sx, err := sling.Open(shard.Resolve(manifestPath, si.Path), g)
+			if err != nil {
+				closeAll()
+				return nil, nil, fmt.Errorf("opening shard %d: %w", si.ID, err)
+			}
+			clients[i] = shard.NewLocal(sx)
+			log.Printf("shard %d: nodes [%d,%d), %d entries, %s in-process",
+				si.ID, si.Lo, si.Hi, si.Entries, humanize.Bytes(sx.Bytes()))
+		default:
+			closeAll()
+			return nil, nil, fmt.Errorf("shard %d has neither path nor url", si.ID)
+		}
+	}
+	// One registry for the server and the router, so GET /metrics
+	// exposes the per-shard fan-out series alongside the HTTP ones.
+	reg := metrics.NewRegistry()
+	cfg.Registry = reg
+	q, err := shard.New(m, clients, reg)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	handler, err := server.NewQuerier(q, labels, cfg)
+	if err != nil {
+		q.Close()
+		return nil, nil, err
+	}
+	log.Printf("sharded serving: %d shards over %d nodes (c=%g, eps=%g)", len(m.Shards), m.Nodes, m.C, m.Eps)
+	return handler, q, nil
 }
 
 func serve(addr string, handler http.Handler) {

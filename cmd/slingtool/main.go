@@ -7,7 +7,8 @@
 //	slingtool stats -graph g.txt [-undirected] -index idx.sling
 //	slingtool query -graph g.txt [-undirected] -index idx.sling [-disk] u v [u v ...]
 //	slingtool source -graph g.txt [-undirected] -index idx.sling -node u [-top k]
-//	slingtool conformance [-families a,b] [-configs c:eps,...] [-n N] [-seed S] [-short] [-out BENCH_conformance.json]
+//	slingtool conformance [-families a,b] [-configs c:eps,...] [-n N] [-seed S] [-short] [-only backend-re] [-out BENCH_conformance.json]
+//	slingtool shard split -graph g.txt -shards N -out DIR
 //	slingtool durable inspect|verify DIR
 //
 // Node arguments use the original labels from the edge list.
@@ -36,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,6 +46,7 @@ import (
 	"sling"
 	"sling/internal/conformance"
 	"sling/internal/humanize"
+	"sling/internal/shard"
 	"sling/internal/workload"
 )
 
@@ -64,6 +67,8 @@ func main() {
 		err = cmdSource(os.Args[2:])
 	case "conformance":
 		err = cmdConformance(os.Args[2:])
+	case "shard":
+		err = cmdShard(os.Args[2:])
 	case "durable":
 		err = cmdDurable(os.Args[2:])
 	case "-h", "--help", "help":
@@ -85,7 +90,8 @@ func usage() {
   slingtool stats  -graph g.txt [-undirected] -index idx.sling
   slingtool query  -graph g.txt [-undirected] -index idx.sling [-disk] u v [u v ...]
   slingtool source -graph g.txt [-undirected] -index idx.sling -node u [-top k]
-  slingtool conformance [-families a,b] [-configs c:eps,...] [-n N] [-seed S] [-short] [-out bench.json]
+  slingtool conformance [-families a,b] [-configs c:eps,...] [-n N] [-seed S] [-short] [-only backend-re] [-out bench.json]
+  slingtool shard split -graph g.txt [-undirected] -shards N -out DIR [-index idx.sling | -eps E -c C -workers N -enhance]
   slingtool durable inspect [-json] DIR
   slingtool durable verify DIR`)
 }
@@ -249,11 +255,12 @@ func cmdConformance(args []string) error {
 	short := fs.Bool("short", false, "CI subset: three families, one config")
 	noHTTP := fs.Bool("no-http", false, "skip the HTTP server modes")
 	noDynamic := fs.Bool("no-dynamic", false, "skip the dynamic backends")
+	only := fs.String("only", "", "regexp over backend names: run only matching cells")
 	out := fs.String("out", "", "write the per-family benchmark JSON (BENCH_conformance.json) here")
 	quiet := fs.Bool("q", false, "suppress per-cell progress on stderr")
 	fs.Parse(args)
 
-	o := conformance.Options{N: *n, Seed: *seed, HTTP: !*noHTTP, Dynamic: !*noDynamic}
+	o := conformance.Options{N: *n, Seed: *seed, HTTP: !*noHTTP, Dynamic: !*noDynamic, Only: *only}
 	if *familiesFlag != "" {
 		fams, err := workload.ParseFamilies(strings.Split(*familiesFlag, ","))
 		if err != nil {
@@ -312,13 +319,77 @@ func cmdConformance(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "benchmark aggregate written to %s\n", *out)
 	}
+	filtered := ""
+	if rep.Filtered > 0 {
+		filtered = fmt.Sprintf(", %d filtered by -only", rep.Filtered)
+	}
 	fmt.Fprintf(os.Stderr,
-		"conformance: %d cells (%d families x %d configs x %d backends), worst error %.5f, min eps headroom %.5f, %.1fs\n",
-		len(rep.Cells), len(rep.Families), len(rep.Configs), len(rep.Backends),
+		"conformance: %d cells (%d families x %d configs x %d backends%s), worst error %.5f, min eps headroom %.5f, %.1fs\n",
+		len(rep.Cells), len(rep.Families), len(rep.Configs), len(rep.Backends), filtered,
 		rep.WorstErr, rep.MinHeadroom, rep.ElapsedMS/1000)
 	if !rep.AllPass {
 		return fmt.Errorf("%d of %d conformance cells failed", rep.Failures, len(rep.Cells))
 	}
+	return nil
+}
+
+// cmdShard handles the shard subcommands; today that is `shard split`,
+// which partitions an index into per-shard SLIX files plus the routing
+// manifest `slingserver -shards` consumes.
+func cmdShard(args []string) error {
+	if len(args) < 1 || args[0] != "split" {
+		return fmt.Errorf("usage: slingtool shard split -graph g.txt -shards N -out DIR")
+	}
+	fs := flag.NewFlagSet("shard split", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge list file")
+	undirected := fs.Bool("undirected", false, "treat edges as undirected")
+	indexPath := fs.String("index", "", "prebuilt index to split (default: build fresh)")
+	eps := fs.Float64("eps", 0.025, "worst-case additive error (fresh build)")
+	c := fs.Float64("c", 0.6, "decay factor (fresh build)")
+	workers := fs.Int("workers", 1, "build parallelism (fresh build)")
+	seed := fs.Uint64("seed", 1, "random seed (fresh build)")
+	enhance := fs.Bool("enhance", false, "Section 5.3 accuracy enhancement (fresh build)")
+	nshards := fs.Int("shards", 2, "number of shards")
+	out := fs.String("out", "shards", "output directory for shard files and manifest.json")
+	fs.Parse(args[1:])
+
+	g, _, _, err := loadGraph(*graphPath, *undirected)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o777); err != nil {
+		return err
+	}
+	var ix *sling.Index
+	if *indexPath != "" {
+		ix, err = sling.Open(*indexPath, g)
+	} else {
+		ix, err = sling.Build(g,
+			sling.WithEps(*eps), sling.WithC(*c), sling.WithWorkers(*workers),
+			sling.WithSeed(*seed), sling.WithEnhance(*enhance))
+	}
+	if err != nil {
+		return err
+	}
+	m, err := shard.Split(ix, *nshards, *out)
+	if err != nil {
+		return err
+	}
+	// The manifest records the graph so slingserver -shards can rebind
+	// the shard files; an absolute path keeps it valid from any cwd.
+	if m.Graph, err = filepath.Abs(*graphPath); err != nil {
+		return err
+	}
+	m.Undirected = *undirected
+	manifestPath := filepath.Join(*out, "manifest.json")
+	if err := m.Save(manifestPath); err != nil {
+		return err
+	}
+	for _, si := range m.Shards {
+		fmt.Printf("shard %d: nodes [%d,%d), %d entries, %s -> %s\n",
+			si.ID, si.Lo, si.Hi, si.Entries, humanize.Bytes(si.Bytes), si.Path)
+	}
+	fmt.Printf("manifest written to %s (%d shards over %d nodes)\n", manifestPath, len(m.Shards), m.Nodes)
 	return nil
 }
 

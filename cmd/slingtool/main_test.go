@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"sling"
 	"sling/internal/rng"
+	"sling/internal/shard"
 )
 
 // writeTestGraph emits a small random edge list and returns its path.
@@ -220,5 +223,104 @@ func TestDurableUsageErrors(t *testing.T) {
 	}
 	if err := cmdDurable([]string{"verify", "/does/not/exist"}); err == nil {
 		t.Fatal("nonexistent DIR accepted")
+	}
+}
+
+func TestConformanceOnlyFilter(t *testing.T) {
+	// Capture the report cmdConformance prints to stdout.
+	old := os.Stdout
+	rpipe, wpipe, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wpipe
+	runErr := cmdConformance([]string{"-families", "star", "-configs", "0.6:0.1",
+		"-no-http", "-no-dynamic", "-q", "-only", "^sharded$"})
+	wpipe.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatalf("conformance -only: %v", runErr)
+	}
+	data, err := io.ReadAll(rpipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Backends []string `json:"backends"`
+		Cells    []struct {
+			Backend string `json:"backend"`
+		} `json:"cells"`
+		Filtered int `json:"filtered"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	for _, c := range rep.Cells {
+		if c.Backend != "sharded" {
+			t.Fatalf("cell for %q survived -only ^sharded$", c.Backend)
+		}
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(rep.Cells))
+	}
+	// Without HTTP and dynamic the static set holds memory, disk, ooc,
+	// sharded, and mmap where supported: everything but sharded is
+	// filtered, and the report must say so.
+	want := 3
+	if sling.MmapSupported() {
+		want = 4
+	}
+	if rep.Filtered != want {
+		t.Fatalf("filtered = %d, want %d", rep.Filtered, want)
+	}
+
+	if err := cmdConformance([]string{"-families", "star", "-configs", "0.6:0.1",
+		"-q", "-only", "("}); err == nil {
+		t.Fatal("invalid -only regexp accepted")
+	}
+}
+
+func TestShardSplitCommand(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	outDir := filepath.Join(t.TempDir(), "shards")
+	if err := cmdShard([]string{"split", "-graph", graphPath, "-eps", "0.1",
+		"-shards", "3", "-out", outDir}); err != nil {
+		t.Fatalf("shard split: %v", err)
+	}
+	manifestPath := filepath.Join(outDir, "manifest.json")
+	m, err := shard.Load(manifestPath)
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if len(m.Shards) != 3 || m.Nodes != 100 || m.Graph == "" {
+		t.Fatalf("manifest = %+v", m)
+	}
+	// The shard files must reload against the graph and serve queries.
+	g, _, err := sling.LoadEdgeListFile(m.Graph, m.Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]shard.Client, len(m.Shards))
+	for i, si := range m.Shards {
+		sx, err := sling.Open(shard.Resolve(manifestPath, si.Path), g)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		clients[i] = shard.NewLocal(sx)
+	}
+	q, err := shard.New(m, clients, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.SimRank(context.Background(), 0, 99); err != nil {
+		t.Fatalf("query over split shards: %v", err)
+	}
+
+	if err := cmdShard([]string{"merge"}); err == nil {
+		t.Fatal("unknown shard verb accepted")
+	}
+	if err := cmdShard([]string{"split", "-shards", "2"}); err == nil {
+		t.Fatal("missing -graph accepted")
 	}
 }

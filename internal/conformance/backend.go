@@ -30,16 +30,15 @@ package conformance
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"net/http"
-	"net/http/httptest"
 	"path/filepath"
-	"strings"
 
 	"sling"
 	"sling/internal/core"
+	"sling/internal/httpclient"
 	"sling/internal/server"
+	"sling/internal/shard"
 )
 
 // Backend is a sling.Querier with a report label. The facade types
@@ -136,212 +135,52 @@ func (b clampedBackend) Close() error { return nil }
 
 // HTTPError is a non-200 answer from an HTTP-mode backend. Edge-case
 // tests assert on Code; the matrix treats any occurrence as a failure.
-// When the server tagged the failure with a machine-readable code
-// (node_range), HTTPError wraps the matching sentinel so errors.Is sees
-// through the wire: a bad node yields sling.ErrNodeRange from the HTTP
-// backend exactly like from the library backends.
-type HTTPError struct {
-	Code int
-	Body string
-	Err  error // optional sentinel reconstructed from the response code field
-}
+// It is the shared wire-adapter error: conformance keeps the historical
+// name as an alias so existing assertions read unchanged.
+type HTTPError = httpclient.Error
 
-func (e *HTTPError) Error() string {
-	return fmt.Sprintf("http %d: %s", e.Code, strings.TrimSpace(e.Body))
-}
-
-func (e *HTTPError) Unwrap() error { return e.Err }
-
-// httpBackend drives a server.Server through its real HTTP surface
-// (mux, handlers, JSON encoding) in-process, as a sling.Querier — the
-// same adapter shape a replication client against a remote SLING server
-// would use. encoding/json emits the shortest float64 representation
-// that round-trips exactly, so scores survive the JSON hop bit-for-bit
-// and HTTP modes participate in the bitwise cross-backend checks.
+// httpBackend is the report-labelled view of the shared HTTP
+// Querier-over-the-wire adapter (internal/httpclient): it drives a
+// server.Server through its real HTTP surface (mux, handlers, JSON
+// encoding) in-process. encoding/json emits the shortest float64
+// representation that round-trips exactly, so scores survive the JSON
+// hop bit-for-bit and HTTP modes participate in the bitwise
+// cross-backend checks.
 type httpBackend struct {
-	name    string
-	h       http.Handler
-	prefix  string // route prefix, e.g. "/g/wiki" for catalog servers
-	n       int
-	clamped bool
+	*httpclient.Client
+	name string
 }
 
 // NewHTTPBackend wraps an http.Handler serving the package server API
 // over a graph of n nodes (dense IDs; no label mapping).
 func NewHTTPBackend(name string, h http.Handler, n int, clamped bool) Backend {
-	return &httpBackend{name: name, h: h, n: n, clamped: clamped}
+	return newHTTPBackend(name, h, "", n, clamped)
 }
 
 // NewHTTPBackendAt is NewHTTPBackend under a route prefix — the adapter
 // for one graph of a catalog server, e.g. prefix "/g/wiki" drives
 // /g/wiki/simrank, /g/wiki/batch, /g/wiki/stats.
 func NewHTTPBackendAt(name string, h http.Handler, prefix string, n int, clamped bool) Backend {
-	return &httpBackend{name: name, h: h, prefix: strings.TrimSuffix(prefix, "/"), n: n, clamped: clamped}
+	return newHTTPBackend(name, h, prefix, n, clamped)
+}
+
+func newHTTPBackend(name string, h http.Handler, prefix string, n int, clamped bool) *httpBackend {
+	c, err := httpclient.New(httpclient.Options{
+		Handler: h,
+		Prefix:  prefix,
+		Nodes:   n,
+		Name:    name,
+		Clamped: clamped,
+	})
+	if err != nil {
+		// Unreachable with a handler transport; misuse is a programmer
+		// error in the harness itself.
+		panic(err)
+	}
+	return &httpBackend{Client: c, name: name}
 }
 
 func (b *httpBackend) Name() string { return b.name }
-func (b *httpBackend) Close() error { return nil }
-
-// Meta reports the wire backend: identity from construction, guarantee
-// parameters scraped from /stats (zero if the server hides them).
-func (b *httpBackend) Meta() sling.QuerierMeta {
-	m := sling.QuerierMeta{Name: b.name, Nodes: b.n, Clamped: b.clamped}
-	var stats struct {
-		C     float64 `json:"decay_factor"`
-		Eps   float64 `json:"error_bound"`
-		Epoch uint64  `json:"epoch"`
-	}
-	if err := b.do(context.Background(), http.MethodGet, "/stats", "", &stats); err == nil {
-		m.C, m.Eps, m.Epoch = stats.C, stats.Eps, stats.Epoch
-	}
-	return m
-}
-
-// do issues one in-process request against prefix+target. A
-// pre-cancelled ctx returns before any handler work, matching the
-// Querier contract.
-func (b *httpBackend) do(ctx context.Context, method, target, body string, out interface{}) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	target = b.prefix + target
-	var req *http.Request
-	if body == "" {
-		req = httptest.NewRequest(method, target, nil)
-	} else {
-		req = httptest.NewRequest(method, target, strings.NewReader(body))
-	}
-	req = req.WithContext(ctx)
-	rec := httptest.NewRecorder()
-	b.h.ServeHTTP(rec, req)
-	if err := ctx.Err(); err != nil {
-		// The server observed the cancellation and dropped the response.
-		return err
-	}
-	if rec.Code != http.StatusOK {
-		he := &HTTPError{Code: rec.Code, Body: rec.Body.String()}
-		var coded struct {
-			Code string `json:"code"`
-		}
-		if json.Unmarshal(rec.Body.Bytes(), &coded) == nil && coded.Code == "node_range" {
-			he.Err = sling.ErrNodeRange
-		}
-		return he
-	}
-	if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
-		return fmt.Errorf("%s %s: decoding %q: %w", method, target, rec.Body.String(), err)
-	}
-	return nil
-}
-
-type scoredNode struct {
-	Node  int64   `json:"node"`
-	Score float64 `json:"score"`
-}
-
-func toScored(in []scoredNode) []sling.Scored {
-	out := make([]sling.Scored, len(in))
-	for i, e := range in {
-		out[i] = sling.Scored{Node: sling.NodeID(e.Node), Score: e.Score}
-	}
-	return out
-}
-
-func (b *httpBackend) SimRank(ctx context.Context, u, v sling.NodeID) (float64, error) {
-	var resp struct {
-		Score float64 `json:"score"`
-	}
-	err := b.do(ctx, http.MethodGet, fmt.Sprintf("/simrank?u=%d&v=%d", u, v), "", &resp)
-	return resp.Score, err
-}
-
-// sourceVector turns a full /source response into a dense score vector,
-// verifying it covers exactly the node set.
-func (b *httpBackend) sourceVector(entries []scoredNode, out []float64) ([]float64, error) {
-	if len(entries) != b.n {
-		return nil, fmt.Errorf("source returned %d scores, want %d", len(entries), b.n)
-	}
-	if cap(out) < b.n {
-		out = make([]float64, b.n)
-	}
-	out = out[:b.n]
-	seen := make([]bool, b.n)
-	for _, e := range entries {
-		if e.Node < 0 || e.Node >= int64(b.n) || seen[e.Node] {
-			//slingvet:ignore noderangeerr backend protocol corruption, not a caller-supplied node: ErrNodeRange would misclassify it as retryable input error
-			return nil, fmt.Errorf("source entry for node %d out of range or duplicated", e.Node)
-		}
-		seen[e.Node] = true
-		out[e.Node] = e.Score
-	}
-	return out, nil
-}
-
-func (b *httpBackend) SingleSource(ctx context.Context, u sling.NodeID, out []float64) ([]float64, error) {
-	var resp struct {
-		Scores []scoredNode `json:"scores"`
-	}
-	if err := b.do(ctx, http.MethodGet, fmt.Sprintf("/source?u=%d", u), "", &resp); err != nil {
-		return nil, err
-	}
-	return b.sourceVector(resp.Scores, out)
-}
-
-func (b *httpBackend) SingleSourceBatch(ctx context.Context, us []sling.NodeID) ([][]float64, error) {
-	ops := make([]map[string]interface{}, len(us))
-	for i, u := range us {
-		ops[i] = map[string]interface{}{"op": "source", "u": u}
-	}
-	body, err := json.Marshal(ops)
-	if err != nil {
-		return nil, err
-	}
-	var resp struct {
-		Results []struct {
-			Scores []scoredNode `json:"scores"`
-			Error  string       `json:"error"`
-			Code   string       `json:"code"`
-		} `json:"results"`
-	}
-	if err := b.do(ctx, http.MethodPost, "/batch", string(body), &resp); err != nil {
-		return nil, err
-	}
-	if len(resp.Results) != len(us) {
-		return nil, fmt.Errorf("batch returned %d results for %d ops", len(resp.Results), len(us))
-	}
-	rows := make([][]float64, len(us))
-	for i, r := range resp.Results {
-		if r.Error != "" {
-			if r.Code == "node_range" {
-				return nil, fmt.Errorf("%w: batch op %d: %s", sling.ErrNodeRange, i, r.Error)
-			}
-			return nil, fmt.Errorf("batch op %d: %s", i, r.Error)
-		}
-		if rows[i], err = b.sourceVector(r.Scores, nil); err != nil {
-			return nil, fmt.Errorf("batch op %d: %w", i, err)
-		}
-	}
-	return rows, nil
-}
-
-func (b *httpBackend) TopK(ctx context.Context, u sling.NodeID, k int) ([]sling.Scored, error) {
-	var resp struct {
-		Results []scoredNode `json:"results"`
-	}
-	err := b.do(ctx, http.MethodGet, fmt.Sprintf("/topk?u=%d&k=%d", u, k), "", &resp)
-	return toScored(resp.Results), err
-}
-
-func (b *httpBackend) SourceTop(ctx context.Context, u sling.NodeID, limit int) ([]sling.Scored, error) {
-	var resp struct {
-		Scores []scoredNode `json:"scores"`
-	}
-	err := b.do(ctx, http.MethodGet, fmt.Sprintf("/source?u=%d&limit=%d", u, limit), "", &resp)
-	return toScored(resp.Scores), err
-}
 
 // StaticSet is the group of backends that share one immutable index and
 // therefore must answer bitwise-identically: the in-memory reference,
@@ -419,6 +258,21 @@ func NewStaticSet(g *sling.Graph, opt *sling.Options, dir string, withHTTP bool)
 	set.Others = append(set.Others, NamedBackend(ooc, "ooc"))
 	set.BuildMS["ooc"] = ms
 
+	// Scatter/gather over in-process shard slices of the reference index:
+	// the router (fragment routing, broadcast, k-pruned merge) must be
+	// bitwise-invisible. conformanceShards exceeds 1 so cross-shard pairs
+	// and merges are actually exercised (Plan clamps on tiny graphs).
+	sq, ms, err := timed(func() (*shard.Querier, error) {
+		m, clients := shard.InProcess(ix, conformanceShards)
+		return shard.New(m, clients, nil)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("conformance: sharded querier: %w", err)
+	}
+	set.closers = append(set.closers, sq.Close)
+	set.Others = append(set.Others, NamedBackend(sq, "sharded"))
+	set.BuildMS["sharded"] = ms
+
 	if withHTTP {
 		n := g.NumNodes()
 		memSrv, err := sserver(server.New(ix, nil))
@@ -431,9 +285,41 @@ func NewStaticSet(g *sling.Graph, opt *sling.Options, dir string, withHTTP bool)
 			return nil, fmt.Errorf("conformance: disk server: %w", err)
 		}
 		set.Others = append(set.Others, NewHTTPBackend("http-disk", diskSrv, n, false))
+
+		// The same scatter/gather router, but with every shard behind its
+		// own HTTP server's /shard routes — the remote deployment shape.
+		hsq, ms, err := timed(func() (*shard.Querier, error) {
+			hm := &shard.Manifest{Version: shard.ManifestVersion, Nodes: n, C: ix.C(), Eps: ix.ErrorBound()}
+			var clients []shard.Client
+			for i, r := range shard.Plan(ix.EntryBytes(), conformanceShards) {
+				sx := ix.Shard(r[0], r[1])
+				srv, err := sserver(server.New(sx, nil))
+				if err != nil {
+					return nil, fmt.Errorf("shard server %d: %w", i, err)
+				}
+				cl, err := httpclient.New(httpclient.Options{
+					Handler: srv, Nodes: n, Name: fmt.Sprintf("shard%d", i),
+				})
+				if err != nil {
+					return nil, err
+				}
+				hm.Shards = append(hm.Shards, shard.ShardInfo{ID: i, Lo: r[0], Hi: r[1], Bytes: sx.Bytes()})
+				clients = append(clients, cl)
+			}
+			return shard.New(hm, clients, nil)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("conformance: http sharded querier: %w", err)
+		}
+		set.closers = append(set.closers, hsq.Close)
+		set.Others = append(set.Others, NamedBackend(hsq, "http-sharded"))
+		set.BuildMS["http-sharded"] = ms
 	}
 	return set, nil
 }
+
+// conformanceShards is the shard count the sharded cells run with.
+const conformanceShards = 3
 
 // sserver flattens the (server, error) constructor pair to an
 // http.Handler.

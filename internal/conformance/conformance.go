@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"time"
 
@@ -64,6 +65,12 @@ type Options struct {
 	Dynamic bool
 	// K is the top-k cutoff exercised per source. Default 5.
 	K int
+	// Only, when non-empty, is a regexp over backend names: cells whose
+	// backend does not match are skipped (and counted in
+	// Report.Filtered). The reference backend is always evaluated — other
+	// cells compare against it bitwise — but its cell is only reported
+	// when it matches.
+	Only string
 	// Logf, when set, receives per-cell progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -138,8 +145,10 @@ type Report struct {
 	WorstErr    float64  `json:"worst_err"`
 	MinHeadroom float64  `json:"min_eps_headroom"`
 	Failures    int      `json:"failures"`
-	AllPass     bool     `json:"all_pass"`
-	ElapsedMS   float64  `json:"elapsed_ms"`
+	// Filtered counts cells skipped by Options.Only.
+	Filtered  int     `json:"filtered,omitempty"`
+	AllPass   bool    `json:"all_pass"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // timed runs f and reports its wall-clock cost in milliseconds.
@@ -156,6 +165,12 @@ func Run(opts Options) (*Report, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	var only *regexp.Regexp
+	if o.Only != "" {
+		if only, err = regexp.Compile(o.Only); err != nil {
+			return nil, fmt.Errorf("conformance: bad Only pattern %q: %w", o.Only, err)
+		}
 	}
 	start := time.Now()
 	rep := &Report{Seed: o.Seed, N: o.N, Configs: o.Configs, MinHeadroom: math.Inf(1)}
@@ -178,10 +193,11 @@ func Run(opts Options) (*Report, error) {
 				}
 				truthByC[cfg.C] = truth
 			}
-			cells, err := runFamilyConfig(o, fam, cfg, g, truth)
+			cells, filtered, err := runFamilyConfig(o, only, fam, cfg, g, truth)
 			if err != nil {
 				return nil, fmt.Errorf("conformance: %s/%s: %w", fam.Name, cfg, err)
 			}
+			rep.Filtered += filtered
 			for _, c := range cells {
 				backendSet[c.Backend] = true
 				rep.Cells = append(rep.Cells, c)
@@ -216,23 +232,37 @@ func Run(opts Options) (*Report, error) {
 }
 
 // runFamilyConfig evaluates every backend on one generated graph, with
-// exact ground truth for (g, cfg.C) supplied by the caller.
-func runFamilyConfig(o Options, fam workload.Family, cfg Config,
-	g *sling.Graph, truth *power.Scores) ([]Cell, error) {
+// exact ground truth for (g, cfg.C) supplied by the caller. only, when
+// non-nil, filters which backends are evaluated and reported; the
+// second return counts the cells it skipped.
+func runFamilyConfig(o Options, only *regexp.Regexp, fam workload.Family, cfg Config,
+	g *sling.Graph, truth *power.Scores) ([]Cell, int, error) {
 
 	opt := &sling.Options{C: cfg.C, Eps: cfg.Eps, Seed: o.Seed}
+	match := func(name string) bool { return only == nil || only.MatchString(name) }
 
 	set, err := NewStaticSet(g, opt, o.Dir, o.HTTP)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer set.Close()
 
 	var cells []Cell
+	filtered := 0
+	// The reference is always evaluated — every other cell compares
+	// against its answers bitwise — but reported only when it matches.
 	ref := evaluate(o, fam, cfg, g, truth, set.Ref, nil)
 	ref.cell.BuildMS = set.BuildMS["memory"]
-	cells = append(cells, ref.cell)
+	if match(set.Ref.Name()) {
+		cells = append(cells, ref.cell)
+	} else {
+		filtered++
+	}
 	for _, be := range set.Others {
+		if !match(be.Name()) {
+			filtered++
+			continue
+		}
 		res := evaluate(o, fam, cfg, g, truth, be, ref)
 		res.cell.BuildMS = set.BuildMS[be.Name()]
 		cells = append(cells, res.cell)
@@ -241,19 +271,25 @@ func runFamilyConfig(o Options, fam workload.Family, cfg Config,
 	if o.Dynamic {
 		dyn, err := dynamicCells(o, fam, cfg, g, opt)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		cells = append(cells, dyn...)
+		for _, c := range dyn {
+			if !match(c.Backend) {
+				filtered++
+				continue
+			}
+			cells = append(cells, c)
+		}
 	}
-	return cells, nil
+	return cells, filtered, nil
 }
 
 // evalResult carries one backend's full answer set so later backends can
 // be compared against it bitwise.
 type evalResult struct {
 	cell Cell
-	pair *power.Scores   // SimRank matrix (ordered pairs)
-	rows *power.Scores   // single-source matrix
+	pair *power.Scores // SimRank matrix (ordered pairs)
+	rows *power.Scores // single-source matrix
 	topk [][]sling.Scored
 	stop [][]sling.Scored
 }

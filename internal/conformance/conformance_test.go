@@ -59,6 +59,7 @@ func TestMatrix(t *testing.T) {
 		"memory", "disk", "ooc", "dynamic-stale", "dynamic-rebuilt",
 		"dynamic-restored-stale", "dynamic-restored",
 		"http-memory", "http-disk", "http-dynamic",
+		"sharded", "http-sharded",
 	}
 	if sling.MmapSupported() {
 		wantBackends = append(wantBackends, "mmap")

@@ -609,32 +609,12 @@ func (d *DiskIndex) SingleSource(u graph.NodeID, s *DiskScratch, ss *SourceScrat
 	if s == nil {
 		s = d.NewScratch()
 	}
-	if ss == nil {
-		ss = d.meta.NewSourceScratch()
-	}
-	n := d.meta.g.NumNodes()
-	if cap(out) < n {
-		out = make([]float64, n)
-	}
-	out = out[:n]
-	for i := range out {
-		out[i] = 0
-	}
 	ku, vu, err := d.fetch(u, s, &s.ka, &s.va)
 	if err != nil {
 		return nil, err
 	}
 	keys, vals := d.meta.gatherFrom(u, ku, vu, s.q, &s.gka, &s.gva)
-	for lo := 0; lo < len(keys); {
-		l := keyStep(keys[lo])
-		hi := lo
-		for hi < len(keys) && keyStep(keys[hi]) == l {
-			hi++
-		}
-		d.meta.propagateStep(keys[lo:hi], vals[lo:hi], l, ss, out)
-		lo = hi
-	}
-	return out, nil
+	return d.meta.SingleSourceFrom(keys, vals, ss, out), nil
 }
 
 // SimRank answers a single-pair query with two positioned reads (or two

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sling/internal/graph"
+)
+
+// Shard-side primitives for scatter/gather serving.
+//
+// A shard index is a Slice of the full index: the complete O(n) metadata
+// (graph binding, parameters, d̃, reduced flags) with HP entries kept only
+// for a contiguous node range. That split is exactly what makes node-range
+// sharding correct for SLING:
+//
+//   - a pair score is a merge join of the two endpoints' HP fragments
+//     (Algorithm 3), so the router can fetch each fragment from the shard
+//     owning it and join locally — FragmentOf carries the d̃ value per
+//     entry so the join needs no index at all (JoinScoreD);
+//   - single-source propagation (Algorithm 6) reads only the graph, d̃,
+//     and the parameters, which every shard holds in full, so any shard
+//     can propagate a broadcast fragment exactly and return its slice of
+//     the score vector (SingleSourceFrom + a range copy);
+//   - top-k selection has a total deterministic order (WorseThan), so
+//     per-shard SelectTopRange answers of a partition merge losslessly.
+//
+// Every path reuses the single-index query code verbatim, so sharded
+// answers are bitwise-identical to the unsharded reference.
+
+// FragmentOf gathers node u's effective HP entry list (stored entries
+// with exact step-1/2 reconstruction and enhancement expansion applied,
+// exactly as queries see it) into freshly allocated slices, plus the d̃
+// value of each entry's meeting node. Unlike gather, the result never
+// aliases index storage or scratch, so it can outlive both — the shape a
+// scatter/gather router ships between shards.
+func (x *Index) FragmentOf(u graph.NodeID, s *Scratch) (keys []uint64, vals, dvals []float64) {
+	if s == nil {
+		s = x.NewScratch()
+	}
+	k, v := x.gather(u, s, &s.ka, &s.va)
+	return copyFragment(k, v, x.d)
+}
+
+// FragmentOf is Index.FragmentOf over disk-resident entries: one
+// positioned read (or a zero-copy view slice) plus the same gather
+// transformations.
+func (d *DiskIndex) FragmentOf(u graph.NodeID, s *DiskScratch) (keys []uint64, vals, dvals []float64, err error) {
+	if s == nil {
+		s = d.NewScratch()
+	}
+	ku, vu, err := d.fetch(u, s, &s.ka, &s.va)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	gk, gv := d.meta.gatherFrom(u, ku, vu, s.q, &s.gka, &s.gva)
+	keys, vals, dvals = copyFragment(gk, gv, d.meta.d)
+	return keys, vals, dvals, nil
+}
+
+func copyFragment(k []uint64, v []float64, d []float64) ([]uint64, []float64, []float64) {
+	keys := append([]uint64(nil), k...)
+	vals := append([]float64(nil), v...)
+	dvals := make([]float64, len(keys))
+	for i, key := range keys {
+		dvals[i] = d[keyNode(key)]
+	}
+	return keys, vals, dvals
+}
+
+// JoinScoreD is the Algorithm 3 merge join over two gathered fragments
+// with u's d̃ values carried per entry instead of looked up in an index:
+// Σ h_u·d̃_k·h_v over shared keys. At a key match du[i] == d[keyNode(key)],
+// and the product keeps joinScore's left-to-right grouping, so the result
+// is bitwise-identical to joinScore on the same fragments.
+func JoinScoreD(ku []uint64, vu, du []float64, kv []uint64, vv []float64) float64 {
+	total := 0.0
+	i, j := 0, 0
+	for i < len(ku) && j < len(kv) {
+		a, b := ku[i], kv[j]
+		switch {
+		case a == b:
+			total += vu[i] * du[i] * vv[j]
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+	return total
+}
+
+// Slice returns a shard index owning the contiguous node range [lo, hi):
+// the full graph binding, parameters, d̃, and reduced flags (all O(n) and
+// needed to gather owned fragments and propagate broadcast ones), with HP
+// entries and enhancement marks kept only for the owned nodes. The
+// returned index shares the graph with the receiver but copies every
+// array it keeps, serializes as a standard SLIX file, and answers
+// identically to the full index for any query that touches only owned
+// entries. lo and hi are clamped into [0, n].
+func (x *Index) Slice(lo, hi int) *Index {
+	n := len(x.d)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	sx := &Index{
+		g:       x.g,
+		prm:     x.prm,
+		d:       append([]float64(nil), x.d...),
+		reduced: append([]bool(nil), x.reduced...),
+		off:     make([]int64, n+1),
+		markOff: make([]int64, n+1),
+		keys:    append([]uint64(nil), x.keys[x.off[lo]:x.off[hi]]...),
+		vals:    append([]float64(nil), x.vals[x.off[lo]:x.off[hi]]...),
+		marks:   append([]int32(nil), x.marks[x.markOff[lo]:x.markOff[hi]]...),
+	}
+	for v := lo; v < hi; v++ {
+		sx.off[v+1] = x.off[v+1] - x.off[lo]
+		sx.markOff[v+1] = x.markOff[v+1] - x.markOff[lo]
+	}
+	for v := hi; v < n; v++ {
+		sx.off[v+1] = sx.off[hi]
+		sx.markOff[v+1] = sx.markOff[hi]
+	}
+	return sx
+}
+
+// EntryBytes returns the serialized size of each node's stored HP
+// entries (16 bytes per entry: key + value), the weight vector a
+// byte-balancing shard planner partitions over.
+func (x *Index) EntryBytes() []int64 {
+	n := len(x.d)
+	w := make([]int64, n)
+	for v := 0; v < n; v++ {
+		w[v] = 16 * (x.off[v+1] - x.off[v])
+	}
+	return w
+}
+
+// Fragment is ScratchPool.Fragment: FragmentOf with pooled scratch.
+func (p *ScratchPool) Fragment(u graph.NodeID) (keys []uint64, vals, dvals []float64) {
+	s := p.Scratch()
+	keys, vals, dvals = p.x.FragmentOf(u, s)
+	p.PutScratch(s)
+	return keys, vals, dvals
+}
+
+// SourceSlice propagates an already-gathered fragment (Algorithm 6 over
+// the full node space) and returns a fresh copy of the [lo, hi) slice of
+// the resulting score vector, with pooled scratch.
+func (p *ScratchPool) SourceSlice(keys []uint64, vals []float64, lo, hi int) []float64 {
+	s := p.Source()
+	vec := p.Vector()
+	res := p.x.SingleSourceFrom(keys, vals, s, vec)
+	out := append([]float64(nil), res[lo:hi]...)
+	p.PutVector(vec)
+	p.PutSource(s)
+	return out
+}
+
+// TopSlice propagates a fragment and selects the local top-k of the
+// [lo, hi) node range, with pooled scratch.
+func (p *ScratchPool) TopSlice(keys []uint64, vals []float64, k int, skip graph.NodeID, lo, hi int) []TopEntry {
+	s := p.Source()
+	vec := p.Vector()
+	res := p.x.SingleSourceFrom(keys, vals, s, vec)
+	top := SelectTopRange(res, k, skip, lo, hi)
+	p.PutVector(vec)
+	p.PutSource(s)
+	return top
+}
+
+// Fragment is DiskScratchPool.Fragment: FragmentOf with pooled scratch.
+func (p *DiskScratchPool) Fragment(u graph.NodeID) (keys []uint64, vals, dvals []float64, err error) {
+	s := p.scratch.Get().(*DiskScratch)
+	keys, vals, dvals, err = p.d.FragmentOf(u, s)
+	p.scratch.Put(s)
+	return keys, vals, dvals, err
+}
+
+// SourceSlice is ScratchPool.SourceSlice for the disk index: propagation
+// uses only the memory-resident metadata, so no I/O occurs.
+func (p *DiskScratchPool) SourceSlice(keys []uint64, vals []float64, lo, hi int) []float64 {
+	ss := p.source.Get().(*SourceScratch)
+	vec := p.vec.Get().(*[]float64)
+	res := p.d.meta.SingleSourceFrom(keys, vals, ss, *vec)
+	out := append([]float64(nil), res[lo:hi]...)
+	p.vec.Put(vec)
+	p.source.Put(ss)
+	return out
+}
+
+// TopSlice is ScratchPool.TopSlice for the disk index.
+func (p *DiskScratchPool) TopSlice(keys []uint64, vals []float64, k int, skip graph.NodeID, lo, hi int) []TopEntry {
+	ss := p.source.Get().(*SourceScratch)
+	vec := p.vec.Get().(*[]float64)
+	res := p.d.meta.SingleSourceFrom(keys, vals, ss, *vec)
+	top := SelectTopRange(res, k, skip, lo, hi)
+	p.vec.Put(vec)
+	p.source.Put(ss)
+	return top
+}

@@ -44,6 +44,21 @@ func (x *Index) SingleSource(u graph.NodeID, s *SourceScratch, out []float64) []
 	if s == nil {
 		s = x.NewSourceScratch()
 	}
+	keys, vals := x.gather(u, s.q, &s.q.ka, &s.q.va)
+	return x.SingleSourceFrom(keys, vals, s, out)
+}
+
+// SingleSourceFrom runs the Algorithm 6 propagation from an already
+// gathered HP entry list instead of a node: the seeds are h values
+// (pre-correction; d̃ is applied here), sorted by key. It is the shared
+// step-group loop behind the in-memory and disk single-source paths, and
+// the shard-side half of scatter/gather single-source — propagation needs
+// only the graph, d̃, and the parameters, all of which every shard holds
+// in full, so a shard can propagate any node's fragment exactly.
+func (x *Index) SingleSourceFrom(keys []uint64, vals []float64, s *SourceScratch, out []float64) []float64 {
+	if s == nil {
+		s = x.NewSourceScratch()
+	}
 	n := x.g.NumNodes()
 	if cap(out) < n {
 		out = make([]float64, n)
@@ -52,7 +67,6 @@ func (x *Index) SingleSource(u graph.NodeID, s *SourceScratch, out []float64) []
 	for i := range out {
 		out[i] = 0
 	}
-	keys, vals := x.gather(u, s.q, &s.q.ka, &s.q.va)
 	// Entries are sorted by (step, node); process one step-group at a
 	// time.
 	for lo := 0; lo < len(keys); {

@@ -21,10 +21,11 @@ type TopEntry struct {
 	Score float64
 }
 
-// worseThan reports whether a ranks strictly behind b in top-k order.
+// WorseThan reports whether a ranks strictly behind b in top-k order.
 // Ordering is total and deterministic: higher score first, ties broken by
-// smaller node ID.
-func (a TopEntry) worseThan(b TopEntry) bool {
+// smaller node ID. It is exported so scatter/gather layers can merge
+// per-shard top-k lists with exactly the selection order used here.
+func (a TopEntry) WorseThan(b TopEntry) bool {
 	if a.Score != b.Score {
 		return a.Score < b.Score
 	}
@@ -53,14 +54,49 @@ func SelectTop(scores []float64, k int, skip graph.NodeID) []TopEntry {
 			siftUp(h, len(h)-1)
 			continue
 		}
-		if !h[0].worseThan(e) {
+		if !h[0].WorseThan(e) {
 			continue // e ranks behind the worst kept entry
 		}
 		h[0] = e
 		siftDown(h, 0)
 	}
 	// Heap-order is by "worst first"; the response wants best first.
-	sort.Slice(h, func(i, j int) bool { return h[j].worseThan(h[i]) })
+	sort.Slice(h, func(i, j int) bool { return h[j].WorseThan(h[i]) })
+	return h
+}
+
+// SelectTopRange is SelectTop restricted to the nodes in [lo, hi): the
+// per-shard half of a scatter/gather top-k. Because SelectTop's order is
+// total and every node belongs to exactly one range, concatenating the
+// SelectTopRange results of a partition of [0, n), sorting by WorseThan,
+// and truncating to k reproduces SelectTop(scores, k, skip) exactly —
+// per-shard k-pruning never changes the merged answer.
+func SelectTopRange(scores []float64, k int, skip graph.NodeID, lo, hi int) []TopEntry {
+	if k <= 0 || lo >= hi {
+		return nil
+	}
+	if k > hi-lo {
+		k = hi - lo
+	}
+	h := make([]TopEntry, 0, k)
+	for v := lo; v < hi; v++ {
+		sc := scores[v]
+		if sc <= 0 || graph.NodeID(v) == skip {
+			continue
+		}
+		e := TopEntry{Node: graph.NodeID(v), Score: sc}
+		if len(h) < k {
+			h = append(h, e)
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if !h[0].WorseThan(e) {
+			continue
+		}
+		h[0] = e
+		siftDown(h, 0)
+	}
+	sort.Slice(h, func(i, j int) bool { return h[j].WorseThan(h[i]) })
 	return h
 }
 
@@ -69,7 +105,7 @@ func SelectTop(scores []float64, k int, skip graph.NodeID) []TopEntry {
 func siftUp(h []TopEntry, i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if !h[i].worseThan(h[p]) {
+		if !h[i].WorseThan(h[p]) {
 			return
 		}
 		h[i], h[p] = h[p], h[i]
@@ -83,10 +119,10 @@ func siftDown(h []TopEntry, i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
-		if l < n && h[l].worseThan(h[m]) {
+		if l < n && h[l].WorseThan(h[m]) {
 			m = l
 		}
-		if r < n && h[r].worseThan(h[m]) {
+		if r < n && h[r].WorseThan(h[m]) {
 			m = r
 		}
 		if m == i {

@@ -125,6 +125,7 @@ type tenant struct {
 	s           *Server
 	q           sling.Querier
 	dyn         *sling.DynamicIndex    // non-nil for updatable backends
+	sb          sling.ShardBackend     // non-nil when q serves shard fragments
 	labels      []int64                // dense ID -> original label; nil = identity
 	byLbl       map[int64]sling.NodeID // original label -> dense ID
 	h           *catalog.Handle        // catalog mode only
@@ -195,6 +196,9 @@ func (s *Server) instruments() {
 // mapping.
 func newTenant(s *Server, q sling.Querier, dyn *sling.DynamicIndex, labels []int64, maxBatchOps int) (*tenant, error) {
 	t := &tenant{s: s, q: q, dyn: dyn, labels: labels, maxBatchOps: maxBatchOps}
+	if sb, ok := q.(sling.ShardBackend); ok {
+		t.sb = sb
+	}
 	if labels != nil {
 		t.byLbl = make(map[int64]sling.NodeID, len(labels))
 		for id, l := range labels {
@@ -228,6 +232,11 @@ func newServer(q sling.Querier, dyn *sling.DynamicIndex, labels []int64, cfg Con
 		s.mux.HandleFunc("/update", s.postOnly(s.fixed((*tenant).handleUpdate)))
 		s.mux.HandleFunc("/rebuild", s.postOnly(s.fixed((*tenant).handleRebuild)))
 		s.mux.HandleFunc("/snapshot", s.postOnly(s.fixed((*tenant).handleSnapshot)))
+	}
+	if t.sb != nil {
+		s.mux.HandleFunc("/shard/fragment", s.getOnly(s.fixed((*tenant).handleShardFragment)))
+		s.mux.HandleFunc("/shard/source", s.postOnly(s.fixed((*tenant).handleShardSource)))
+		s.mux.HandleFunc("/shard/top", s.postOnly(s.fixed((*tenant).handleShardTop)))
 	}
 	s.commonRoutes()
 	return s, nil
